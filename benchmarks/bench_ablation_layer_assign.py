@@ -1,0 +1,42 @@
+"""Ablation — switch layer assignment: mean-of-layers vs majority layer.
+
+Sec. V-A Step 7 computes a switch's layer as the average of its cores'
+layers, noting "alternatively, the switch could also be assigned to the
+layer containing the most number of cores connected to it". Both are
+implemented (``switch_layer_mode``); this ablation compares the best power
+point under each.
+"""
+
+from conftest import echo
+
+from repro.experiments.common import ExperimentResult, synthesize_cached
+
+
+def _run(paper_config):
+    table = ExperimentResult(
+        name="Ablation: switch layer mode (mean vs majority)",
+        columns=["benchmark", "mode", "power_mw", "latency_cyc", "vlinks"],
+    )
+    for name in ("d26_media", "d36_4"):
+        for mode in ("mean", "majority"):
+            cfg = paper_config.with_(switch_layer_mode=mode)
+            point = synthesize_cached(name, "3d", cfg).best_power()
+            table.add(
+                benchmark=name, mode=mode,
+                power_mw=point.total_power_mw,
+                latency_cyc=point.avg_latency_cycles,
+                vlinks=point.metrics.num_vertical_links,
+            )
+    return table
+
+
+def test_ablation_switch_layer_mode(benchmark, paper_config):
+    table = benchmark(_run, paper_config)
+    echo(table)
+    by_key = {(r["benchmark"], r["mode"]): r for r in table.rows}
+    for name in ("d26_media", "d36_4"):
+        mean_p = by_key[(name, "mean")]["power_mw"]
+        maj_p = by_key[(name, "majority")]["power_mw"]
+        # Both modes must produce valid, same-ballpark designs (the paper
+        # presents them as interchangeable alternatives).
+        assert 0.5 < mean_p / maj_p < 2.0

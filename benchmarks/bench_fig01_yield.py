@@ -1,0 +1,26 @@
+"""Fig. 1 — yield vs. TSV count, and the TSV budget -> max_ill derivation."""
+
+from conftest import echo
+
+from repro.experiments.fig01_yield import run_budget_table, run_yield_curves
+
+
+def test_fig01_yield_curves(benchmark):
+    table = benchmark(run_yield_curves)
+    echo(table)
+    # Shape: flat at low counts, rapidly decaying beyond the knee, and the
+    # three processes strictly ordered (Fig. 1).
+    for process in ("wafer-level-a", "wafer-level-b", "die-to-wafer"):
+        ys = table.column(process)
+        assert ys[0] == ys[1]            # flat region exists
+        assert ys[-1] < ys[0] * 0.5      # strong decay by the end
+    last = table.rows[-1]
+    assert last["wafer-level-a"] > last["wafer-level-b"] > last["die-to-wafer"]
+
+
+def test_fig01_budget_derivation(benchmark):
+    table = benchmark(run_budget_table)
+    echo(table)
+    budgets = dict(zip(table.column("process"), table.column("max_ill")))
+    # The paper's max_ill = 25 sits in the range spanned by the processes.
+    assert budgets["die-to-wafer"] <= 25 <= budgets["wafer-level-a"]

@@ -1,0 +1,43 @@
+"""Figs. 10 & 11 — NoC power vs. switch count for D_26_media (2-D and 3-D).
+
+Paper claims reproduced in shape:
+  * only switch counts >= 3 admit valid 400 MHz topologies (switch-size
+    limit, Sec. VIII-A);
+  * switch power grows with the switch count while core-to-switch link
+    power tends to fall (the trade-off of Sec. IV);
+  * the 3-D curve sits below the 2-D curve at the best points (24% for
+    this benchmark in the paper).
+"""
+
+from conftest import echo
+
+from repro.experiments.common import synthesize_cached
+from repro.experiments.power_curves import run_2d_vs_3d_best, run_power_vs_switches
+
+
+def test_fig10_power_vs_switches_2d(benchmark, paper_config):
+    table = benchmark(run_power_vs_switches, "d26_media", "2d", paper_config)
+    echo(table)
+    counts = table.column("switches")
+    assert min(counts) >= 3, "1-2 switch designs must fail the 400 MHz size limit"
+    first, last = table.rows[0], table.rows[-1]
+    assert last["switch_mw"] > first["switch_mw"]
+
+
+def test_fig11_power_vs_switches_3d(benchmark, paper_config):
+    table = benchmark(run_power_vs_switches, "d26_media", "3d", paper_config)
+    echo(table)
+    counts = table.column("switches")
+    assert min(counts) >= 3
+    # Every 3-D point satisfies the max_ill constraint by construction.
+    result = synthesize_cached("d26_media", "3d", paper_config)
+    for p in result.points:
+        assert p.metrics.max_ill_used <= paper_config.max_ill
+
+
+def test_fig10_11_3d_beats_2d(benchmark, paper_config):
+    table = benchmark(run_2d_vs_3d_best, "d26_media", paper_config)
+    echo(table)
+    saving = table.rows[1]["saving_pct"]
+    # Paper: 24% for D_26_media. Shape check: a double-digit saving.
+    assert saving > 10.0

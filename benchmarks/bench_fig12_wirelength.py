@@ -1,0 +1,28 @@
+"""Fig. 12 — wire-length distributions: "the 2-D design has many long wires"."""
+
+from conftest import echo
+
+from repro.experiments.common import synthesize_cached
+from repro.experiments.wirelength import run_wirelength_distribution
+from repro.noc.wire_stats import length_stats
+
+
+def test_fig12_wirelength_distribution(benchmark, paper_config):
+    table = benchmark(run_wirelength_distribution, "d26_media", 0.5, paper_config)
+    echo(table)
+
+    p2 = synthesize_cached("d26_media", "2d", paper_config).best_power()
+    p3 = synthesize_cached("d26_media", "3d", paper_config).best_power()
+    mean2, max2, _ = length_stats(p2.metrics.wire_lengths_mm)
+    mean3, max3, _ = length_stats(p3.metrics.wire_lengths_mm)
+
+    # The 2-D design has longer wires on average and a longer tail.
+    assert mean2 > mean3
+    assert max2 >= max3
+
+    # The long-wire tail (everything in the upper half of the bins) is
+    # heavier in 2-D.
+    half = len(table.rows) // 2
+    tail2 = sum(r["links_2d"] for r in table.rows[half:])
+    tail3 = sum(r["links_3d"] for r in table.rows[half:])
+    assert tail2 >= tail3

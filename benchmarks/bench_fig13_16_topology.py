@@ -1,0 +1,59 @@
+"""Figs. 13-16 — the synthesized D_26_media topology and floorplan.
+
+Fig. 13: best Phase 1 topology (cores may attach to switches in any layer).
+Fig. 14: best Phase 2 (layer-by-layer) topology — "it can be seen from the
+figure that the algorithm used a lot less inter-layer links", at a latency
+price ("cores on different layers will have a zero load latency of at least
+two cycles as they have to go through two switches").
+Fig. 15: the resulting 3-D floorplan with the network components inserted.
+"""
+
+from conftest import echo
+
+from repro.experiments.common import synthesize_cached
+from repro.experiments.topology_report import (
+    run_floorplan_report,
+    run_topology_report,
+)
+
+
+def test_fig13_phase1_topology(benchmark, paper_config):
+    table = benchmark(run_topology_report, "d26_media", "phase1", paper_config)
+    echo(table)
+    assert len(table.rows) >= 3
+    # Every core appears exactly once across the switches.
+    all_cores = ",".join(
+        str(r["cores"]) for r in table.rows if r["cores"] != "(indirect)"
+    ).split(",")
+    assert len(all_cores) == 26
+    assert len(set(all_cores)) == 26
+
+
+def test_fig14_phase2_topology_fewer_vertical_links(benchmark, paper_config):
+    table = benchmark(
+        run_topology_report, "d26_media", "phase2", paper_config
+    )
+    echo(table)
+    p1 = synthesize_cached(
+        "d26_media", "3d", paper_config.with_(phase="phase1")
+    ).best_power()
+    p2 = synthesize_cached(
+        "d26_media", "3d", paper_config.with_(phase="phase2")
+    ).best_power()
+    # The Fig. 13-vs-14 claim: far fewer inter-layer links in Phase 2.
+    assert p2.metrics.num_vertical_links < p1.metrics.num_vertical_links
+    # And the latency price: cross-layer flows traverse >= 2 switches.
+    assert p2.avg_latency_cycles >= p1.avg_latency_cycles
+
+
+def test_fig15_floorplan_legal_and_complete(benchmark, paper_config):
+    table = benchmark(run_floorplan_report, "d26_media", paper_config)
+    echo(table)
+    point = synthesize_cached("d26_media", "3d", paper_config).best_power()
+    assert point.floorplan.is_legal()
+    names = set(point.floorplan.by_name(c.name).name
+                for c in point.floorplan)
+    # All 26 cores plus at least the switches are placed.
+    kinds = [c.kind for c in point.floorplan]
+    assert kinds.count("core") == 26
+    assert kinds.count("switch") == point.switch_count

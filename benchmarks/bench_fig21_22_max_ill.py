@@ -1,0 +1,39 @@
+"""Figs. 21 & 22 — impact of the max_ill (TSV yield) constraint on D_36_4.
+
+Paper shape: below a floor no topology exists at all; tightening the
+constraint raises power and latency (more switches, layer-local clustering);
+above ~24 the results saturate.
+"""
+
+from conftest import echo
+
+from repro.experiments.max_ill_sweep import run_max_ill_sweep
+
+SWEEP = (1, 2, 3, 4, 6, 10, 14, 18, 22, 25, 30)
+
+
+def test_fig21_22_max_ill_sweep(benchmark, paper_config):
+    table = benchmark(run_max_ill_sweep, "d36_4", SWEEP, paper_config)
+    echo(table)
+
+    feasible = [r for r in table.rows if r["power_mw"] is not None]
+    infeasible = [r for r in table.rows if r["power_mw"] is None]
+    assert feasible, "the sweep must contain feasible points"
+    # Infeasibility floor: the very tightest constraints admit no topology.
+    assert infeasible, "max_ill=1 must be infeasible"
+    assert all(r["max_ill"] <= 4 for r in infeasible)
+
+    # Tightest feasible point costs at least as much power as the loosest.
+    tight = feasible[0]
+    loose = feasible[-1]
+    assert tight["power_mw"] >= loose["power_mw"] * 0.98
+    assert tight["latency_cyc"] >= loose["latency_cyc"] * 0.95
+
+    # Saturation: beyond max_ill=25 nothing changes.
+    at_25 = [r for r in feasible if r["max_ill"] == 25][0]
+    at_30 = [r for r in feasible if r["max_ill"] == 30][0]
+    assert at_30["power_mw"] == at_25["power_mw"]
+
+    # Every design respects its constraint.
+    for row in feasible:
+        assert row["max_ill_used"] <= row["max_ill"]

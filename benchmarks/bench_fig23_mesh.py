@@ -1,0 +1,31 @@
+"""Fig. 23 — custom synthesized topologies vs. power-optimised mesh.
+
+Paper: 51% average power reduction and 21% latency reduction for the custom
+topologies against an optimised mesh with unused links removed.
+"""
+
+from conftest import echo
+
+from repro.bench.registry import TABLE1_BENCHMARKS
+from repro.experiments.mesh_comparison import run_mesh_comparison
+
+
+def test_fig23_custom_vs_mesh(benchmark):
+    table = benchmark(
+        run_mesh_comparison, TABLE1_BENCHMARKS + ("d26_media",), None
+    )
+    echo(table)
+    rows = [r for r in table.rows if r.get("power_saving_pct") is not None]
+    assert len(rows) == len(TABLE1_BENCHMARKS) + 1
+
+    for row in rows:
+        # The custom topology wins on power on every benchmark.
+        assert row["power_saving_pct"] > 0, row["benchmark"]
+        # And never loses on latency.
+        assert row["latency_saving_pct"] > -5.0, row["benchmark"]
+
+    avg_power = sum(r["power_saving_pct"] for r in rows) / len(rows)
+    avg_latency = sum(r["latency_saving_pct"] for r in rows) / len(rows)
+    # Paper: 51% / 21%. Check for the same order of magnitude.
+    assert 30.0 < avg_power < 75.0
+    assert avg_latency > 10.0

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrates (runtime characterisation).
+
+The paper reports "it takes a few seconds to build a topology with few
+switches" on 2009 hardware; these micro-benchmarks time the pieces that
+dominate: the min-cut partitioner, the placement LP, the floorplanner, one
+full single-point synthesis, and the wormhole simulator.
+"""
+
+import pytest
+
+from repro.core.assignment import assignment_from_blocks
+from repro.core.config import SynthesisConfig
+from repro.core.paths import build_topology_skeleton, compute_paths
+from repro.core.placement import optimise_switch_positions
+from repro.core.synthesis import SunFloor3D
+from repro.bench.registry import get_benchmark
+from repro.floorplan.annealer import anneal_floorplan
+from repro.graphs.comm_graph import build_comm_graph
+from repro.graphs.partition import kway_min_cut
+from repro.models.library import default_library
+from repro.noc.simulator import WormholeSimulator
+from repro.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def d26():
+    return get_benchmark("d26_media")
+
+
+def test_partitioner_26_cores(benchmark, d26):
+    graph = build_comm_graph(d26.core_spec_3d, d26.comm_spec)
+    weights = graph.symmetric_bandwidth()
+    blocks = benchmark(kway_min_cut, graph.n, weights, 6, seed=0)
+    assert len(blocks) == 6
+
+
+def test_placement_lp_26_cores(benchmark, d26):
+    cfg = SynthesisConfig(max_ill=25)
+    tool = SunFloor3D(d26.core_spec_3d, d26.comm_spec, config=cfg)
+    graph = tool.graph
+    weights = graph.symmetric_bandwidth()
+    blocks = kway_min_cut(graph.n, weights, 6, seed=0)
+    assignment = assignment_from_blocks(blocks, graph, "mean", "phase1")
+    lib = default_library()
+    topo = build_topology_skeleton(assignment, graph, lib, cfg, tool._core_centers)
+    compute_paths(topo, graph, lib, cfg, tool._core_centers)
+    die_w, die_h = tool._die_bounds
+
+    obj = benchmark(
+        optimise_switch_positions, topo, tool._core_centers, die_w, die_h
+    )
+    assert obj > 0
+
+
+def test_floorplanner_16_blocks(benchmark):
+    rng = make_rng(0, "bench-floorplan")
+    widths = [rng.uniform(0.8, 2.0) for _ in range(16)]
+    heights = [rng.uniform(0.8, 2.0) for _ in range(16)]
+    result = benchmark(anneal_floorplan, widths, heights, None, None,
+                       seed=1, moves=2000)
+    assert result.area > 0
+
+
+def test_single_point_synthesis_d26(benchmark, d26):
+    cfg = SynthesisConfig(max_ill=25, switch_count_range=(6, 6))
+
+    def run():
+        return SunFloor3D(d26.core_spec_3d, d26.comm_spec, config=cfg).synthesize()
+
+    result = benchmark(run)
+    assert not result.is_empty
+
+
+def test_wormhole_simulator_10k_cycles(benchmark, d26):
+    cfg = SynthesisConfig(max_ill=25, switch_count_range=(6, 6))
+    point = SunFloor3D(
+        d26.core_spec_3d, d26.comm_spec, config=cfg
+    ).synthesize().best_power()
+    sim = WormholeSimulator(point.topology, seed=0)
+    stats = benchmark.pedantic(
+        sim.run, kwargs={"cycles": 10_000, "warmup": 1_000}, rounds=1, iterations=1
+    )
+    assert stats.packets_delivered > 0

@@ -1,0 +1,38 @@
+"""Table I — 2-D vs. 3-D comparison over the six benchmarks.
+
+Paper shape: 3-D wins on every benchmark (38% power / 13% latency on
+average); most of the saving is in *link* power (shorter wires), switch
+power staying roughly comparable; the distributed designs gain most and the
+pipelined ones least.
+"""
+
+from conftest import echo
+
+from repro.bench.registry import TABLE1_BENCHMARKS
+from repro.experiments.common import default_config_for
+from repro.experiments.table1_2d_vs_3d import run_table1
+
+
+def test_table1_full(benchmark):
+    table = benchmark(run_table1, TABLE1_BENCHMARKS, None)
+    echo(table)
+
+    for row in table.rows:
+        # 3-D wins on power, everywhere.
+        assert row["total_3d_mw"] < row["total_2d_mw"], row["benchmark"]
+        # The saving comes from the links.
+        assert row["link_3d_mw"] < row["link_2d_mw"], row["benchmark"]
+        # Latency does not regress.
+        assert row["lat_3d_cyc"] <= row["lat_2d_cyc"] * 1.05, row["benchmark"]
+
+    savings = {r["benchmark"]: r["power_saving_pct"] for r in table.rows}
+    average = sum(savings.values()) / len(savings)
+    # Paper: 38% average. Our substitute technology models land lower but
+    # must show a solid double-digit average.
+    assert average > 10.0
+
+    # Ordering shape: a distributed design saves more than the weakest
+    # pipelined one.
+    assert max(savings["d36_4"], savings["d36_6"], savings["d36_8"]) > min(
+        savings["d65_pipe"], savings["d38_tvopd"]
+    )

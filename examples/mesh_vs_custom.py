@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Custom synthesized topologies vs. an optimised mesh (Fig. 23) and the
+full 2-D vs 3-D comparison (Table I).
+
+Run:  python examples/mesh_vs_custom.py [--quick]
+
+With --quick only two benchmarks are swept; the full run covers all six
+Table I designs plus D_26_media.
+"""
+
+import sys
+
+from repro.bench.registry import TABLE1_BENCHMARKS
+from repro.experiments.mesh_comparison import run_mesh_comparison
+from repro.experiments.table1_2d_vs_3d import run_table1
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    benchmarks = ("d36_4", "d35_bot") if quick else TABLE1_BENCHMARKS
+
+    print("Table I: 2-D vs. 3-D NoC comparison")
+    run_table1(benchmarks).print_table()
+    print()
+
+    print("Fig. 23: custom topology vs. power-optimised mesh")
+    run_mesh_comparison(benchmarks + ("d26_media",)).print_table()
+
+
+if __name__ == "__main__":
+    main()

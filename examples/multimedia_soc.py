@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The D_26_media case study (paper Sec. VIII-A, Figs. 9-16).
+
+Synthesizes the 26-core multimedia & wireless SoC in both its 3-D (3-layer)
+and 2-D implementations, reproducing the case-study artefacts:
+
+* power vs. switch count, split by component (Figs. 10-11);
+* wire-length distributions (Fig. 12);
+* the best Phase 1 and Phase 2 topologies (Figs. 13-14);
+* the resulting floorplan (Fig. 15).
+
+Run:  python examples/multimedia_soc.py
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.experiments.power_curves import run_2d_vs_3d_best, run_power_vs_switches
+from repro.experiments.topology_report import run_floorplan_report, run_topology_report
+from repro.experiments.wirelength import run_wirelength_distribution
+
+
+def main() -> None:
+    config = SynthesisConfig(max_ill=25, switch_count_range=(3, 14))
+
+    print("Synthesizing D_26_media, 2-D flow (Murali et al. [16]) ...")
+    run_power_vs_switches("d26_media", "2d", config).print_table()
+    print()
+
+    print("Synthesizing D_26_media, 3-D flow (SunFloor 3D) ...")
+    run_power_vs_switches("d26_media", "3d", config).print_table()
+    print()
+
+    run_2d_vs_3d_best("d26_media", config).print_table()
+    print()
+
+    run_wirelength_distribution("d26_media", config=config).print_table()
+    print()
+
+    run_topology_report("d26_media", "phase1", config).print_table()
+    print()
+    run_topology_report("d26_media", "phase2", config).print_table()
+    print()
+    run_floorplan_report("d26_media", config).print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""From manufacturing yield to the max_ill constraint, and its impact.
+
+Walks the paper's motivation chain end to end:
+
+1. Fig. 1 — yield vs. TSV count for three manufacturing processes;
+2. pick a process and a target yield, derive the TSV budget and from it the
+   ``max_ill`` constraint for 32-bit links (Sec. IV);
+3. Figs. 21-22 — synthesize D_36_4 under a sweep of max_ill values and show
+   the power/latency cost of tight TSV budgets, the infeasibility floor, and
+   the saturation point.
+
+Run:  python examples/tsv_yield_constraint.py
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.experiments.fig01_yield import run_budget_table, run_yield_curves
+from repro.experiments.max_ill_sweep import run_max_ill_sweep
+from repro.models.tsv_model import TsvModel, max_tsvs_for_yield
+
+
+def main() -> None:
+    run_yield_curves().print_table()
+    print()
+    run_budget_table().print_table()
+    print()
+
+    # Chain for one concrete choice: mainstream process, 85% yield target.
+    process = "wafer-level-b"
+    target = 0.85
+    budget = max_tsvs_for_yield(process, target)
+    model = TsvModel()
+    max_ill = model.max_ill_for_budget(budget, width_bits=32)
+    print(f"process {process!r} at >= {target:.0%} yield -> "
+          f"{budget} TSVs per boundary -> max_ill = {max_ill} "
+          f"({model.tsvs_per_link(32)} TSVs per 32-bit link)\n")
+
+    config = SynthesisConfig(switch_count_range=(3, 14))
+    table = run_max_ill_sweep(
+        "d36_4", (1, 2, 3, 4, 6, 10, 14, 18, 22, 25, 30), config
+    )
+    table.print_table()
+
+    feasible = [r for r in table.rows if r["power_mw"] is not None]
+    infeasible = [r["max_ill"] for r in table.rows if r["power_mw"] is None]
+    if infeasible:
+        print(f"\ninfeasible below max_ill = {max(infeasible) + 1} "
+              "(the Fig. 21 floor)")
+    if feasible:
+        tight, loose = feasible[0], feasible[-1]
+        print(f"tightest feasible ({tight['max_ill']}): "
+              f"{tight['power_mw']:.1f} mW / {tight['latency_cyc']:.2f} cyc; "
+              f"loosest ({loose['max_ill']}): "
+              f"{loose['power_mw']:.1f} mW / {loose['latency_cyc']:.2f} cyc")
+
+
+if __name__ == "__main__":
+    main()

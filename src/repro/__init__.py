@@ -1,0 +1,72 @@
+"""SunFloor 3D reproduction — application-specific NoC topology synthesis
+for 3-D systems on chips.
+
+Reproduces: C. Seiculescu, S. Murali, L. Benini, G. De Micheli,
+"SunFloor 3D: A Tool for Networks on Chip Topology Synthesis for 3-D Systems
+on Chips", IEEE TCAD 29(12), 2010 (journal version of the DATE 2009 paper).
+
+Quickstart::
+
+    from repro import SunFloor3D, SynthesisConfig
+    from repro.bench import get_benchmark
+
+    bench = get_benchmark("d26_media")
+    tool = SunFloor3D(bench.core_spec_3d, bench.comm_spec,
+                      config=SynthesisConfig(max_ill=25))
+    result = tool.synthesize()
+    print(result.best_power().summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    DesignPoint,
+    SunFloor3D,
+    SynthesisConfig,
+    SynthesisResult,
+    synthesize,
+    synthesize_2d,
+    synthesize_mesh,
+)
+from repro.core.frequency_sweep import sweep_alpha, sweep_frequencies
+from repro.core.verification import verify_design_point
+from repro.errors import (
+    FloorplanError,
+    LPError,
+    PathComputationError,
+    ReproError,
+    SpecError,
+    SynthesisError,
+)
+from repro.models import NocLibrary, default_library
+from repro.spec import CommSpec, Core, CoreSpec, MessageType, TrafficFlow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SunFloor3D",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "DesignPoint",
+    "synthesize",
+    "synthesize_2d",
+    "synthesize_mesh",
+    "sweep_frequencies",
+    "sweep_alpha",
+    "verify_design_point",
+    "NocLibrary",
+    "default_library",
+    "Core",
+    "CoreSpec",
+    "CommSpec",
+    "TrafficFlow",
+    "MessageType",
+    "ReproError",
+    "SpecError",
+    "SynthesisError",
+    "PathComputationError",
+    "LPError",
+    "FloorplanError",
+    "__version__",
+]

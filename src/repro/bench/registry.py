@@ -1,0 +1,55 @@
+"""Benchmark registry: name -> cached Benchmark instance.
+
+Benchmark construction runs layer assignment and four to five simulated-
+annealing floorplans, so instances are cached per (name, seed).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.bench import suites
+from repro.bench.builder import Benchmark
+from repro.errors import SpecError
+
+#: The six benchmarks of Table I / Figs. 17, 19, 20, 23.
+TABLE1_BENCHMARKS = (
+    "d36_4",
+    "d36_6",
+    "d36_8",
+    "d35_bot",
+    "d65_pipe",
+    "d38_tvopd",
+)
+
+_ALL = TABLE1_BENCHMARKS + ("d26_media",)
+
+
+def list_benchmarks() -> List[str]:
+    """Names of every available benchmark."""
+    return sorted(_ALL)
+
+
+@lru_cache(maxsize=None)
+def get_benchmark(
+    name: str, seed: int = 0, floorplan_moves: int = 4000
+) -> Benchmark:
+    """Build (or fetch the cached) benchmark called ``name``."""
+    if name == "d26_media":
+        return suites.d26_media(seed=seed, floorplan_moves=floorplan_moves)
+    if name == "d36_4":
+        return suites.d36(4, seed=seed, floorplan_moves=floorplan_moves)
+    if name == "d36_6":
+        return suites.d36(6, seed=seed, floorplan_moves=floorplan_moves)
+    if name == "d36_8":
+        return suites.d36(8, seed=seed, floorplan_moves=floorplan_moves)
+    if name == "d35_bot":
+        return suites.d35_bot(seed=seed, floorplan_moves=floorplan_moves)
+    if name == "d65_pipe":
+        return suites.d65_pipe(seed=seed, floorplan_moves=floorplan_moves)
+    if name == "d38_tvopd":
+        return suites.d38_tvopd(seed=seed, floorplan_moves=floorplan_moves)
+    raise SpecError(
+        f"unknown benchmark {name!r}; available: {', '.join(list_benchmarks())}"
+    )

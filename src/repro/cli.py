@@ -1,0 +1,206 @@
+"""Command-line interface: ``sunfloor3d`` (or ``python -m repro.cli``).
+
+Sub-commands:
+
+* ``synth``      — synthesize a NoC for a core + communication spec pair
+  (JSON or text format) or a named built-in benchmark, printing the
+  trade-off points and the chosen design.
+* ``experiment`` — regenerate one of the paper's tables/figures by id
+  (fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig17, fig18, fig19,
+  fig21, fig23, table1).
+* ``benchmarks`` — list the built-in benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.registry import get_benchmark, list_benchmarks
+from repro.core.config import SynthesisConfig
+from repro.core.synthesis import SunFloor3D
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sunfloor3d",
+        description="SunFloor 3D reproduction: NoC topology synthesis for 3-D SoCs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize a NoC topology")
+    src = synth.add_mutually_exclusive_group(required=True)
+    src.add_argument("--benchmark", help="built-in benchmark name")
+    src.add_argument("--cores", help="core specification file (json/text)")
+    synth.add_argument("--comm", help="communication spec file (with --cores)")
+    synth.add_argument("--dims", choices=("2d", "3d"), default="3d",
+                       help="which benchmark variant to synthesize")
+    synth.add_argument("--frequency", type=float, default=400.0,
+                       help="NoC frequency in MHz")
+    synth.add_argument("--max-ill", type=int, default=25,
+                       help="max inter-layer links per adjacent boundary")
+    synth.add_argument("--phase", choices=("auto", "phase1", "phase2"),
+                       default="auto")
+    synth.add_argument("--objective", choices=("power", "latency"),
+                       default="power")
+    synth.add_argument("--switches", type=str, default=None,
+                       help="switch count range, e.g. 3:14")
+    synth.add_argument("--all-points", action="store_true",
+                       help="print every valid design point")
+    synth.add_argument("--verify", action="store_true",
+                       help="run the design-rule verifier on the result")
+    synth.add_argument("--ascii", action="store_true",
+                       help="render the floorplan as ASCII art")
+    synth.add_argument("--export-json", metavar="PATH",
+                       help="write the chosen design point as JSON")
+    synth.add_argument("--export-dot", metavar="PATH",
+                       help="write the topology as Graphviz DOT")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("id", help="experiment id (e.g. table1, fig11, fig23)")
+
+    sub.add_parser("benchmarks", help="list built-in benchmarks")
+    return parser
+
+
+def _load_specs(args):
+    if args.benchmark:
+        bench = get_benchmark(args.benchmark)
+        core_spec = bench.core_spec_3d if args.dims == "3d" else bench.core_spec_2d
+        return core_spec, bench.comm_spec
+    if not args.comm:
+        raise ReproError("--comm is required together with --cores")
+    from repro.spec.io import (
+        load_comm_spec_json, load_comm_spec_text,
+        load_core_spec_json, load_core_spec_text,
+    )
+    if args.cores.endswith(".json"):
+        core_spec = load_core_spec_json(args.cores)
+    else:
+        core_spec = load_core_spec_text(args.cores)
+    if args.comm.endswith(".json"):
+        comm_spec = load_comm_spec_json(args.comm)
+    else:
+        comm_spec = load_comm_spec_text(args.comm)
+    return core_spec, comm_spec
+
+
+def _cmd_synth(args) -> int:
+    core_spec, comm_spec = _load_specs(args)
+    switch_range = None
+    if args.switches:
+        lo, _, hi = args.switches.partition(":")
+        switch_range = (int(lo), int(hi or lo))
+    config = SynthesisConfig(
+        frequency_mhz=args.frequency,
+        max_ill=args.max_ill,
+        phase=args.phase,
+        objective=args.objective,
+        switch_count_range=switch_range,
+    )
+    result = SunFloor3D(core_spec, comm_spec, config=config).synthesize()
+    if result.is_empty:
+        print("no valid design points found "
+              f"(unmet switch counts: {result.unmet_switch_counts})")
+        return 1
+    if args.all_points:
+        for point in sorted(result.points, key=lambda p: p.switch_count):
+            print(point.summary())
+        print()
+    best = result.best(args.objective)
+    from repro.experiments.topology_report import describe_design_point
+
+    print("best design point:")
+    print(describe_design_point(best))
+
+    if args.verify:
+        from repro.core.verification import verify_design_point
+        from repro.graphs.comm_graph import build_comm_graph
+        from repro.models.library import default_library
+
+        graph = build_comm_graph(core_spec, comm_spec)
+        report = verify_design_point(best, graph, default_library())
+        print("\nverification: " + report.summary())
+        if not report.ok:
+            return 1
+    if args.ascii:
+        from repro.floorplan.ascii_art import render_floorplan
+
+        print()
+        print(render_floorplan(best.floorplan))
+    if args.export_json:
+        from repro.noc.export import save_design_point_json
+
+        save_design_point_json(best, args.export_json)
+        print(f"\nwrote {args.export_json}")
+    if args.export_dot:
+        from repro.noc.export import save_topology_dot
+
+        save_topology_dot(best.topology, args.export_dot, core_spec.names)
+        print(f"wrote {args.export_dot}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    exp_id = args.id.lower()
+    from repro.experiments import (
+        fig01_yield, floorplan_comparison, max_ill_sweep, mesh_comparison,
+        phase_comparison, power_curves, table1_2d_vs_3d, topology_report,
+        wirelength,
+    )
+
+    runners = {
+        "fig1": lambda: [fig01_yield.run_yield_curves(),
+                         fig01_yield.run_budget_table()],
+        "fig10": lambda: [power_curves.run_power_vs_switches(dims="2d")],
+        "fig11": lambda: [power_curves.run_power_vs_switches(dims="3d")],
+        "fig12": lambda: [wirelength.run_wirelength_distribution()],
+        "fig13": lambda: [topology_report.run_topology_report(phase="phase1")],
+        "fig14": lambda: [topology_report.run_topology_report(phase="phase2")],
+        "fig15": lambda: [topology_report.run_floorplan_report()],
+        "fig16": lambda: [topology_report.run_floorplan_report()],
+        "fig17": lambda: [phase_comparison.run_phase_comparison()],
+        "fig18": lambda: [floorplan_comparison.run_area_vs_switches()],
+        "fig19": lambda: [floorplan_comparison.run_best_point_comparison()],
+        "fig20": lambda: [floorplan_comparison.run_best_point_comparison()],
+        "fig21": lambda: [max_ill_sweep.run_max_ill_sweep()],
+        "fig22": lambda: [max_ill_sweep.run_max_ill_sweep()],
+        "fig23": lambda: [mesh_comparison.run_mesh_comparison()],
+        "table1": lambda: [table1_2d_vs_3d.run_table1()],
+    }
+    if exp_id not in runners:
+        print(f"unknown experiment {args.id!r}; known: {', '.join(sorted(runners))}")
+        return 1
+    for table in runners[exp_id]():
+        table.print_table()
+        print()
+    return 0
+
+
+def _cmd_benchmarks() -> int:
+    for name in list_benchmarks():
+        bench = get_benchmark(name)
+        print(f"{name:12s} {bench.num_cores:3d} cores, {bench.num_flows:3d} flows, "
+              f"{bench.num_layers} layers - {bench.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "synth":
+            return _cmd_synth(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "benchmarks":
+            return _cmd_benchmarks()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

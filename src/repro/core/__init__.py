@@ -1,0 +1,31 @@
+"""The SunFloor 3D synthesis core — the paper's primary contribution.
+
+Public entry points:
+
+* :class:`~repro.core.synthesis.SunFloor3D` — the full Fig. 3 flow: sweep
+  switch counts, establish core-to-switch connectivity (Phase 1 /
+  Algorithm 1 or Phase 2 / Algorithm 2), compute deadlock-free paths under
+  the TSV and switch-size constraints (Sec. VI / Algorithm 3), optimise
+  switch positions with the Sec. VII LP, insert the network components into
+  the floorplan and evaluate every valid design point.
+* :func:`~repro.core.synthesis2d.synthesize_2d` — the 2-D synthesis flow of
+  Murali et al. [16] used as the comparison baseline.
+* :func:`~repro.core.mesh_baseline.synthesize_mesh` — the optimised-mesh
+  baseline of Sec. VIII-E.
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.core.design_point import DesignPoint, SynthesisResult
+from repro.core.synthesis import SunFloor3D, synthesize
+from repro.core.synthesis2d import synthesize_2d
+from repro.core.mesh_baseline import synthesize_mesh
+
+__all__ = [
+    "SynthesisConfig",
+    "DesignPoint",
+    "SynthesisResult",
+    "SunFloor3D",
+    "synthesize",
+    "synthesize_2d",
+    "synthesize_mesh",
+]

@@ -1,0 +1,132 @@
+"""Core-to-switch connectivity assignments (outputs of Algorithms 1 and 2).
+
+An :class:`Assignment` fixes, for one candidate design point, how many
+switches exist, which cores attach to each switch, and the 3-D layer of
+every switch (Step 7 of Algorithm 1: the mean of the attached cores' layers,
+or alternatively their majority layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SynthesisError
+from repro.graphs.comm_graph import CommGraph
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One core-to-switch connectivity candidate.
+
+    Attributes:
+        blocks: ``blocks[s]`` lists the core indices attached to switch s.
+        switch_layers: ``switch_layers[s]`` is the 3-D layer of switch s.
+        phase: "phase1" or "phase2" (provenance, for reporting).
+        theta: The SPG scaling parameter used, if any (Phase 1 retries).
+    """
+
+    blocks: tuple
+    switch_layers: tuple
+    phase: str
+    theta: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) != len(self.switch_layers):
+            raise SynthesisError("blocks and switch_layers length mismatch")
+        seen = set()
+        for block in self.blocks:
+            for core in block:
+                if core in seen:
+                    raise SynthesisError(f"core {core} assigned to two switches")
+                seen.add(core)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def core_to_switch(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for s, block in enumerate(self.blocks):
+            for core in block:
+                out[core] = s
+        return out
+
+    def describe(self) -> str:
+        parts = [f"{self.phase}, {self.num_switches} switches"]
+        if self.theta is not None:
+            parts.append(f"theta={self.theta:g}")
+        return ", ".join(parts)
+
+
+def switch_layer_for_block(
+    block: Sequence[int], core_layers: Sequence[int], mode: str
+) -> int:
+    """Layer assignment for one switch (Step 7 of Algorithm 1).
+
+    ``mode="mean"``: the rounded average of the attached cores' layers.
+    ``mode="majority"``: the layer containing most of the attached cores
+    (ties broken towards the lower layer).
+    """
+    if not block:
+        raise SynthesisError("cannot compute a layer for an empty block")
+    if mode == "mean":
+        avg = sum(core_layers[c] for c in block) / len(block)
+        return int(round(avg))
+    if mode == "majority":
+        counts: Dict[int, int] = {}
+        for c in block:
+            counts[core_layers[c]] = counts.get(core_layers[c], 0) + 1
+        best = max(sorted(counts), key=lambda l: counts[l])
+        return best
+    raise SynthesisError(f"unknown switch layer mode {mode!r}")
+
+
+def assignment_from_blocks(
+    blocks: Sequence[Sequence[int]],
+    graph: CommGraph,
+    mode: str,
+    phase: str,
+    theta: Optional[float] = None,
+) -> Assignment:
+    """Build an Assignment, computing each switch's layer from its cores."""
+    layers = tuple(
+        switch_layer_for_block(block, graph.layers, mode) for block in blocks
+    )
+    return Assignment(
+        blocks=tuple(tuple(sorted(b)) for b in blocks),
+        switch_layers=layers,
+        phase=phase,
+        theta=theta,
+    )
+
+
+def core_link_ill_usage(
+    assignment: Assignment, graph: CommGraph
+) -> Dict[tuple, int]:
+    """Inter-layer link usage of the core-to-switch connections alone.
+
+    Pruning rule 3 (Sec. V-C): "after partitioning, we evaluate the
+    inter-layer links used to connect the cores to the switches, before
+    finding the paths". Each core contributes an injection and an ejection
+    link, each crossing every boundary between its layer and its switch's.
+    """
+    usage: Dict[tuple, int] = {}
+    for s, block in enumerate(assignment.blocks):
+        sw_layer = assignment.switch_layers[s]
+        for core in block:
+            lo = min(graph.layers[core], sw_layer)
+            hi = max(graph.layers[core], sw_layer)
+            for boundary in range(lo, hi):
+                key = (boundary, boundary + 1)
+                usage[key] = usage.get(key, 0) + 2  # injection + ejection
+    return usage
+
+
+def violates_ill_precheck(
+    assignment: Assignment, graph: CommGraph, max_ill: int
+) -> bool:
+    """True if core links alone already exceed the max_ill constraint."""
+    usage = core_link_ill_usage(assignment, graph)
+    return any(count > max_ill for count in usage.values())

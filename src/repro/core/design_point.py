@@ -1,0 +1,134 @@
+"""Design points and synthesis results.
+
+"The output of the topology synthesis procedure is a set of tradeoff points
+of topologies that meet the constraints, with different values of power,
+latency, and design area. From the resulting points, the designer can choose
+the optimal point for the application." (Sec. IV)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.assignment import Assignment
+from repro.core.config import SynthesisConfig
+from repro.errors import SynthesisError
+from repro.floorplan.placement import ChipFloorplan
+from repro.noc.metrics import NocMetrics
+from repro.noc.topology import Topology
+
+
+@dataclass
+class DesignPoint:
+    """One valid synthesized design: topology + floorplan + metrics."""
+
+    assignment: Assignment
+    topology: Topology
+    floorplan: ChipFloorplan
+    metrics: NocMetrics
+    config: SynthesisConfig
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.topology.switches)
+
+    @property
+    def phase(self) -> str:
+        return self.assignment.phase
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.metrics.total_power_mw
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        return self.metrics.avg_latency_cycles
+
+    @property
+    def die_area_mm2(self) -> float:
+        return self.floorplan.die_area_mm2()
+
+    def objective_value(self) -> float:
+        """The metric this run's objective ranks points by."""
+        if self.config.objective == "latency":
+            return self.metrics.avg_latency_cycles
+        return self.metrics.total_power_mw
+
+    def summary(self) -> str:
+        m = self.metrics
+        return (
+            f"{self.phase} {self.switch_count}sw: "
+            f"power {m.total_power_mw:.1f} mW "
+            f"(sw {m.switch_power_mw:.1f} / s2s {m.sw2sw_link_power_mw:.1f} "
+            f"/ c2s {m.core2sw_link_power_mw:.1f}), "
+            f"latency {m.avg_latency_cycles:.2f} cyc, "
+            f"area {self.die_area_mm2:.2f} mm^2, "
+            f"vlinks {m.num_vertical_links} (max ill {m.max_ill_used})"
+        )
+
+
+@dataclass
+class SynthesisResult:
+    """All valid design points of one synthesis run."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+    unmet_switch_counts: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.points
+
+    def best_power(self) -> DesignPoint:
+        """The most power-efficient valid design point."""
+        if not self.points:
+            raise SynthesisError("no valid design points were found")
+        return min(self.points, key=lambda p: (p.total_power_mw, p.switch_count))
+
+    def best_latency(self) -> DesignPoint:
+        if not self.points:
+            raise SynthesisError("no valid design points were found")
+        return min(
+            self.points, key=lambda p: (p.avg_latency_cycles, p.total_power_mw)
+        )
+
+    def best(self, objective: Optional[str] = None) -> DesignPoint:
+        """Best point under the given (or each point's own) objective."""
+        if objective == "latency":
+            return self.best_latency()
+        if objective == "power" or objective is None:
+            return self.best_power()
+        raise SynthesisError(f"unknown objective {objective!r}")
+
+    def by_switch_count(self, count: int) -> List[DesignPoint]:
+        return [p for p in self.points if p.switch_count == count]
+
+    def pareto_front(self) -> List[DesignPoint]:
+        """Points not dominated in (power, latency, die area)."""
+        front: List[DesignPoint] = []
+        for p in self.points:
+            dominated = False
+            for q in self.points:
+                if q is p:
+                    continue
+                if (
+                    q.total_power_mw <= p.total_power_mw
+                    and q.avg_latency_cycles <= p.avg_latency_cycles
+                    and q.die_area_mm2 <= p.die_area_mm2
+                    and (
+                        q.total_power_mw < p.total_power_mw
+                        or q.avg_latency_cycles < p.avg_latency_cycles
+                        or q.die_area_mm2 < p.die_area_mm2
+                    )
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(p)
+        return front

@@ -1,0 +1,165 @@
+"""Architectural-parameter sweep: the outer loop of Fig. 3.
+
+"The NoC architectural parameters, such as frequency of operation, are
+varied and the topology design process is repeated for each architectural
+point." (Sec. IV) — and "a range of frequencies can also be swept by the
+tool to explore more design points" (Sec. VIII-A).
+
+:func:`sweep_frequencies` runs the full synthesis per frequency and merges
+the design points into one result; :func:`find_lowest_feasible_frequency`
+reproduces the paper's observation that "the best power points are obtained
+for topologies designed at the lowest possible operating frequency" (found
+to be 400 MHz for D_26_media).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.design_point import DesignPoint, SynthesisResult
+from repro.core.synthesis import SunFloor3D
+from repro.errors import SynthesisError
+from repro.models.library import NocLibrary
+from repro.spec.comm_spec import CommSpec
+from repro.spec.core_spec import CoreSpec
+from repro.units import link_capacity_mbps
+
+
+@dataclass
+class FrequencySweepResult:
+    """Per-frequency synthesis results, merged."""
+
+    per_frequency: Dict[float, SynthesisResult] = field(default_factory=dict)
+
+    @property
+    def frequencies(self) -> List[float]:
+        return sorted(self.per_frequency)
+
+    def all_points(self) -> List[DesignPoint]:
+        points: List[DesignPoint] = []
+        for freq in self.frequencies:
+            points.extend(self.per_frequency[freq].points)
+        return points
+
+    def best_power(self) -> DesignPoint:
+        points = self.all_points()
+        if not points:
+            raise SynthesisError("no valid design point at any frequency")
+        return min(points, key=lambda p: (p.total_power_mw, p.switch_count))
+
+    def best_power_per_frequency(self) -> Dict[float, Optional[DesignPoint]]:
+        out: Dict[float, Optional[DesignPoint]] = {}
+        for freq, result in self.per_frequency.items():
+            out[freq] = result.best_power() if result.points else None
+        return out
+
+
+def minimum_feasible_frequency(
+    comm_spec: CommSpec, width_bits: int
+) -> float:
+    """Lower bound on the NoC frequency from single-flow bandwidth.
+
+    A flow must fit on one link, so ``f >= bw_max / (width/8)`` MHz. (Shared
+    links may require more; the sweep discovers that.)
+    """
+    max_bw = comm_spec.max_bandwidth
+    bytes_per_flit = width_bits / 8.0
+    return max_bw / bytes_per_flit
+
+
+def sweep_frequencies(
+    core_spec: CoreSpec,
+    comm_spec: CommSpec,
+    frequencies_mhz: Sequence[float],
+    library: Optional[NocLibrary] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> FrequencySweepResult:
+    """Run the synthesis flow once per frequency."""
+    base = config if config is not None else SynthesisConfig()
+    sweep = FrequencySweepResult()
+    for freq in frequencies_mhz:
+        if freq <= 0:
+            raise SynthesisError(f"frequency must be positive, got {freq}")
+        cfg = base.with_(frequency_mhz=float(freq))
+        if comm_spec.max_bandwidth > link_capacity_mbps(cfg.link_width_bits, freq):
+            # No single link can carry the largest flow: skip the point.
+            sweep.per_frequency[float(freq)] = SynthesisResult()
+            continue
+        tool = SunFloor3D(core_spec, comm_spec, library, cfg)
+        sweep.per_frequency[float(freq)] = tool.synthesize()
+    return sweep
+
+
+def sweep_alpha(
+    core_spec: CoreSpec,
+    comm_spec: CommSpec,
+    alphas: Sequence[float],
+    library: Optional[NocLibrary] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> Dict[float, SynthesisResult]:
+    """Sweep the PG weight parameter α of Def. 3.
+
+    "The parameter α can be set by the designer based on the application
+    characteristics or swept by the tool over a range of values, in order to
+    meet the latency constraints." Smaller α weights latency-critical flows
+    more heavily during partitioning.
+    """
+    base = config if config is not None else SynthesisConfig()
+    out: Dict[float, SynthesisResult] = {}
+    for alpha in alphas:
+        cfg = base.with_(alpha=float(alpha))
+        tool = SunFloor3D(core_spec, comm_spec, library, cfg)
+        out[float(alpha)] = tool.synthesize()
+    return out
+
+
+def sweep_link_widths(
+    core_spec: CoreSpec,
+    comm_spec: CommSpec,
+    widths_bits: Sequence[int],
+    library: Optional[NocLibrary] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> Dict[int, SynthesisResult]:
+    """Sweep the link data width (an architectural parameter of Sec. IV).
+
+    Wider links raise capacity (fewer parallel links, lower flit rates) but
+    cost proportionally more wires and TSVs per link — "for a particular
+    link width, the maximum number of links can be directly determined from
+    the TSV constraints", so the effective ``max_ill`` shrinks as width
+    grows. The caller is responsible for adjusting ``max_ill`` per width if
+    a fixed TSV budget is to be modelled; this sweep keeps the configured
+    ``max_ill`` constant and varies only the width.
+    """
+    base = config if config is not None else SynthesisConfig()
+    out: Dict[int, SynthesisResult] = {}
+    for width in widths_bits:
+        if width <= 0:
+            raise SynthesisError(f"link width must be positive, got {width}")
+        cfg = base.with_(link_width_bits=int(width))
+        if comm_spec.max_bandwidth > link_capacity_mbps(width, cfg.frequency_mhz):
+            out[int(width)] = SynthesisResult()
+            continue
+        tool = SunFloor3D(core_spec, comm_spec, library, cfg)
+        out[int(width)] = tool.synthesize()
+    return out
+
+
+def find_lowest_feasible_frequency(
+    core_spec: CoreSpec,
+    comm_spec: CommSpec,
+    frequencies_mhz: Sequence[float],
+    library: Optional[NocLibrary] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> float:
+    """The smallest swept frequency with at least one valid design point."""
+    sweep = sweep_frequencies(
+        core_spec, comm_spec, sorted(frequencies_mhz), library, config
+    )
+    for freq in sweep.frequencies:
+        if sweep.per_frequency[freq].points:
+            return freq
+    raise SynthesisError(
+        f"no frequency in {sorted(frequencies_mhz)} admits a valid design"
+    )

@@ -1,0 +1,264 @@
+"""The optimised-mesh baseline of Sec. VIII-E.
+
+"We generate best mapping (optimizing for power, meeting the latency
+constraints) of the cores on to a mesh topology, and remove any unused
+switch-to-switch links."
+
+For a 3-D specification the mesh is a 3-D mesh: an identical 2-D grid of
+switches per layer plus vertical links between vertically adjacent switches.
+Cores are mapped to grid slots within their own layer by simulated annealing
+minimising bandwidth-weighted hop count; flows are routed XYZ
+dimension-ordered (deadlock-free by construction); links never used by any
+flow are simply not created.
+
+The mesh baseline reports metrics through the same models as the custom
+flow, so the Fig. 23 comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SynthesisConfig
+from repro.errors import SynthesisError
+from repro.graphs.comm_graph import CommGraph, build_comm_graph
+from repro.models.library import NocLibrary, default_library
+from repro.noc.metrics import NocMetrics, compute_metrics, link_lengths_from_positions
+from repro.noc.topology import Topology, switch_ep
+from repro.rng import make_rng
+from repro.spec.comm_spec import CommSpec
+from repro.spec.core_spec import CoreSpec
+from repro.spec.validate import validate_specs
+
+Slot = Tuple[int, int, int]  # (layer, gx, gy)
+
+
+@dataclass
+class MeshDesign:
+    """Result of the mesh baseline: topology + metrics + the grid mapping."""
+
+    topology: Topology
+    metrics: NocMetrics
+    grid_nx: int
+    grid_ny: int
+    mapping: Dict[int, Slot]
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.metrics.total_power_mw
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        return self.metrics.avg_latency_cycles
+
+
+def synthesize_mesh(
+    core_spec: CoreSpec,
+    comm_spec: CommSpec,
+    library: Optional[NocLibrary] = None,
+    config: Optional[SynthesisConfig] = None,
+    *,
+    anneal_iterations: int = 4000,
+) -> MeshDesign:
+    """Map the application onto an optimised (3-D) mesh and evaluate it."""
+    validate_specs(core_spec, comm_spec)
+    library = library if library is not None else default_library()
+    config = config if config is not None else SynthesisConfig()
+    graph = build_comm_graph(core_spec, comm_spec)
+
+    num_layers = graph.num_layers
+    per_layer = [
+        sum(1 for l in graph.layers if l == layer) for layer in range(num_layers)
+    ]
+    max_cores = max(per_layer)
+    nx = int(math.ceil(math.sqrt(max_cores)))
+    ny = int(math.ceil(max_cores / nx))
+
+    mapping = _optimise_mapping(graph, nx, ny, config.seed, anneal_iterations)
+
+    die_w = max(c.x + c.width for c in core_spec)
+    die_h = max(c.y + c.height for c in core_spec)
+    pitch_x = die_w / nx
+    pitch_y = die_h / ny
+
+    topology = Topology(
+        frequency_mhz=config.frequency_mhz, width_bits=config.link_width_bits
+    )
+    slot_to_switch: Dict[Slot, int] = {}
+    for layer in range(num_layers):
+        for gx in range(nx):
+            for gy in range(ny):
+                sw = topology.add_switch(layer)
+                sw.x = (gx + 0.5) * pitch_x
+                sw.y = (gy + 0.5) * pitch_y
+                slot_to_switch[(layer, gx, gy)] = sw.id
+
+    for core, slot in sorted(mapping.items()):
+        topology.attach_core(core, slot_to_switch[slot], graph.layers[core])
+
+    # Route every flow XYZ dimension-ordered; create links on first use
+    # ("remove any unused switch-to-switch links" == never create them).
+    for (src, dst), flow in sorted(graph.edges.items()):
+        slots = _xyz_route(mapping[src], mapping[dst])
+        switch_ids = [slot_to_switch[s] for s in slots]
+        link_ids = [topology.injection_link(src).id]
+        for u, v in zip(switch_ids, switch_ids[1:]):
+            link_ids.append(_get_or_create_link(topology, u, v).id)
+        link_ids.append(topology.ejection_link(dst).id)
+        topology.record_route((src, dst), link_ids, switch_ids, flow.bandwidth)
+
+    topology.validate_routes()
+    _prune_unused_switches(topology)
+
+    core_centers = {i: core.center for i, core in enumerate(core_spec)}
+    link_lengths_from_positions(topology, core_centers)
+    metrics = compute_metrics(topology, core_centers, library)
+
+    return MeshDesign(
+        topology=topology,
+        metrics=metrics,
+        grid_nx=nx,
+        grid_ny=ny,
+        mapping=mapping,
+    )
+
+
+# --------------------------------------------------------------------------
+# internals
+# --------------------------------------------------------------------------
+
+def _initial_mapping(graph: CommGraph, nx: int, ny: int) -> Dict[int, Slot]:
+    mapping: Dict[int, Slot] = {}
+    for layer in range(graph.num_layers):
+        cores = [i for i in range(graph.n) if graph.layers[i] == layer]
+        slots = [(layer, gx, gy) for gy in range(ny) for gx in range(nx)]
+        if len(cores) > len(slots):
+            raise SynthesisError(
+                f"layer {layer}: {len(cores)} cores exceed {len(slots)} mesh slots"
+            )
+        for core, slot in zip(cores, slots):
+            mapping[core] = slot
+    return mapping
+
+
+def _mapping_cost(graph: CommGraph, mapping: Dict[int, Slot]) -> float:
+    """Bandwidth-weighted hop count of the XYZ routes."""
+    total = 0.0
+    for (src, dst), flow in graph.edges.items():
+        a, b = mapping[src], mapping[dst]
+        hops = abs(a[1] - b[1]) + abs(a[2] - b[2]) + abs(a[0] - b[0])
+        total += flow.bandwidth * (hops + 1)  # +1: at least one switch
+    return total
+
+
+def _optimise_mapping(
+    graph: CommGraph, nx: int, ny: int, seed: int, iterations: int
+) -> Dict[int, Slot]:
+    """SA over per-layer slot assignments (swap two cores / move to free)."""
+    rng = make_rng(seed, "mesh-mapping")
+    mapping = _initial_mapping(graph, nx, ny)
+    cost = _mapping_cost(graph, mapping)
+    best_map, best_cost = dict(mapping), cost
+
+    layers = list(range(graph.num_layers))
+    cores_by_layer = {
+        layer: [i for i in range(graph.n) if graph.layers[i] == layer]
+        for layer in layers
+    }
+    all_slots = {
+        layer: [(layer, gx, gy) for gx in range(nx) for gy in range(ny)]
+        for layer in layers
+    }
+
+    temperature = max(cost, 1.0) * 0.05
+    for _ in range(iterations):
+        layer = rng.choice(layers)
+        cores = cores_by_layer[layer]
+        if not cores:
+            continue
+        core = rng.choice(cores)
+        occupied = {mapping[c]: c for c in cores}
+        target = rng.choice(all_slots[layer])
+        if target == mapping[core]:
+            continue
+        old = mapping[core]
+        other = occupied.get(target)
+        mapping[core] = target
+        if other is not None:
+            mapping[other] = old
+        new_cost = _mapping_cost(graph, mapping)
+        if new_cost <= cost or rng.random() < math.exp(
+            (cost - new_cost) / max(temperature, 1e-9)
+        ):
+            cost = new_cost
+            if cost < best_cost:
+                best_cost, best_map = cost, dict(mapping)
+        else:
+            mapping[core] = old
+            if other is not None:
+                mapping[other] = target
+        temperature *= 0.999
+    return best_map
+
+
+def _xyz_route(src: Slot, dst: Slot) -> List[Slot]:
+    """Dimension-ordered route: X, then Y, then Z (layers last)."""
+    path = [src]
+    layer, gx, gy = src
+    while gx != dst[1]:
+        gx += 1 if dst[1] > gx else -1
+        path.append((layer, gx, gy))
+    while gy != dst[2]:
+        gy += 1 if dst[2] > gy else -1
+        path.append((layer, gx, gy))
+    while layer != dst[0]:
+        layer += 1 if dst[0] > layer else -1
+        path.append((layer, gx, gy))
+    return path
+
+
+def _get_or_create_link(topology: Topology, u: int, v: int):
+    links = topology.links_between(switch_ep(u), switch_ep(v))
+    if links:
+        return links[0]
+    return topology.add_switch_link(u, v)
+
+
+def _prune_unused_switches(topology: Topology) -> None:
+    """Mark grid switches with no attached links as indirect/unused.
+
+    Switch objects are kept (ids are dense and referenced by routes), but
+    the metrics code sizes power by ports: a switch with zero ports would
+    fail the model's minimum, so unused switches are excluded by giving the
+    metrics computation nothing to bill — we simply remove them from the
+    switch list when they carry no links and re-index.
+    """
+    used = set()
+    for link in topology.links:
+        for kind, idx in (link.src, link.dst):
+            if kind == "switch":
+                used.add(idx)
+
+    keep = sorted(used)
+    remap = {old: new for new, old in enumerate(keep)}
+    topology.switches = [topology.switches[i] for i in keep]
+    for new_id, sw in enumerate(topology.switches):
+        sw.id = new_id
+    for link in topology.links:
+        if link.src[0] == "switch":
+            link.src = ("switch", remap[link.src[1]])
+        if link.dst[0] == "switch":
+            link.dst = ("switch", remap[link.dst[1]])
+    topology.core_to_switch = {
+        core: remap[sw] for core, sw in topology.core_to_switch.items()
+    }
+    topology.switch_routes = {
+        flow: [remap[s] for s in route]
+        for flow, route in topology.switch_routes.items()
+    }
+    # Rebuild the link index with the re-labelled endpoints.
+    topology._link_index = {}
+    for link in topology.links:
+        topology._link_index.setdefault((link.src, link.dst), []).append(link.id)

@@ -1,0 +1,136 @@
+"""Partitioning-graph builders: PG, SPG and LPG (Definitions 3-5, Eq. 1).
+
+All three graphs share the edge-weight formula of Def. 3::
+
+    h_ij = alpha * bw_ij / max_bw + (1 - alpha) * min_lat / lat_ij
+
+The weights returned here are *directed* dictionaries; the k-way partitioner
+(:func:`repro.graphs.partition.kway_min_cut`) sums the two orientations of a
+pair, which matches treating communication volume symmetrically for
+clustering purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SpecError
+from repro.graphs.comm_graph import CommGraph
+
+Weights = Dict[Tuple[int, int], float]
+
+#: Relative weight of the LPG helper edges added from isolated vertices
+#: ("edges with low weight (close to 0)", Def. 5).
+LPG_ISOLATED_WEIGHT_FACTOR = 1e-6
+
+
+def edge_weight(
+    bandwidth: float, latency: float, max_bw: float, min_lat: float, alpha: float
+) -> float:
+    """The h_ij formula of Def. 3."""
+    if max_bw <= 0:
+        raise SpecError(f"max bandwidth must be positive, got {max_bw}")
+    if latency <= 0 or min_lat <= 0:
+        raise SpecError("latencies must be positive")
+    return alpha * bandwidth / max_bw + (1.0 - alpha) * min_lat / latency
+
+
+def build_pg(graph: CommGraph, alpha: float) -> Weights:
+    """The partitioning graph PG(U, H, alpha) of Def. 3.
+
+    Same vertices and edges as the communication graph, with combined
+    bandwidth/latency weights.
+    """
+    max_bw = graph.max_bandwidth
+    min_lat = graph.min_latency
+    weights: Weights = {}
+    for i, j, flow in graph.flows():
+        weights[(i, j)] = edge_weight(
+            flow.bandwidth, flow.latency, max_bw, min_lat, alpha
+        )
+    return weights
+
+
+def build_spg(graph: CommGraph, alpha: float, theta: float, theta_max: float) -> Weights:
+    """The scaled partitioning graph SPG(W, L, theta) of Def. 4 / Eq. (1).
+
+    Relative to PG:
+      * intra-layer PG edges keep their weight h_ij;
+      * inter-layer PG edges are scaled down to
+        ``h_ij / (theta * |layer_i - layer_j|)``;
+      * new low-weight edges ``theta * max_wt / (10 * theta_max)`` are added
+        between every same-layer pair not already connected, so the
+        partitioner prefers clustering within a layer.
+
+    The ``/10`` keeps the added edges at most one tenth of the maximum PG
+    weight ("obtained experimentally" in the paper).
+    """
+    if theta <= 0:
+        raise SpecError(f"theta must be positive, got {theta}")
+    if theta_max < theta:
+        raise SpecError(f"theta_max ({theta_max}) must be >= theta ({theta})")
+
+    pg = build_pg(graph, alpha)
+    max_wt = max(pg.values()) if pg else 0.0
+    extra_weight = theta * max_wt / (10.0 * theta_max)
+
+    weights: Weights = {}
+    for (i, j), h in pg.items():
+        delta = abs(graph.layers[i] - graph.layers[j])
+        if delta == 0:
+            weights[(i, j)] = h
+        else:
+            weights[(i, j)] = h / (theta * delta)
+
+    pg_pairs = {(min(i, j), max(i, j)) for (i, j) in pg}
+    n = graph.n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if graph.layers[i] != graph.layers[j]:
+                continue
+            if (i, j) in pg_pairs:
+                continue
+            if extra_weight > 0:
+                weights[(i, j)] = extra_weight
+    return weights
+
+
+def build_lpg(
+    graph: CommGraph, layer: int, alpha: float
+) -> Tuple[List[int], Weights]:
+    """The layer partitioning graph LPG(Z, M, ly) of Def. 5.
+
+    Returns ``(members, weights)`` where ``members`` lists the global core
+    indices in the layer and ``weights`` is keyed by *local* indices into
+    ``members``. Inter-layer flows are ignored entirely (the defining
+    restriction of Phase 2). Cores with no intra-layer communication get
+    low-weight edges to every other vertex of the layer so the partitioner
+    still balances them.
+    """
+    members = [i for i in range(graph.n) if graph.layers[i] == layer]
+    if not members:
+        return [], {}
+    local = {g: l for l, g in enumerate(members)}
+
+    max_bw = graph.max_bandwidth
+    min_lat = graph.min_latency
+    weights: Weights = {}
+    connected = set()
+    for i, j, flow in graph.flows():
+        if i in local and j in local:
+            weights[(local[i], local[j])] = edge_weight(
+                flow.bandwidth, flow.latency, max_bw, min_lat, alpha
+            )
+            connected.add(local[i])
+            connected.add(local[j])
+
+    max_wt = max(weights.values()) if weights else 1.0
+    iso_weight = max_wt * LPG_ISOLATED_WEIGHT_FACTOR
+    for l in range(len(members)):
+        if l in connected:
+            continue
+        for other in range(len(members)):
+            if other != l:
+                key = (min(l, other), max(l, other))
+                weights.setdefault(key, iso_weight)
+    return members, weights

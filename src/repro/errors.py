@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SunFloor 3D reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class. The subclasses distinguish the stage of the flow that
+failed: specification validation, infeasible synthesis, LP solving, and
+floorplanning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SpecError(ReproError):
+    """An input specification (core or communication) is malformed."""
+
+
+class SynthesisError(ReproError):
+    """Topology synthesis could not produce any valid design point."""
+
+
+class PathComputationError(SynthesisError):
+    """No constraint-respecting, deadlock-free path exists for a flow."""
+
+
+class LPError(ReproError):
+    """The linear program is malformed or could not be solved."""
+
+
+class InfeasibleLPError(LPError):
+    """The linear program has no feasible solution."""
+
+
+class UnboundedLPError(LPError):
+    """The linear program objective is unbounded below."""
+
+
+class FloorplanError(ReproError):
+    """A floorplanning step failed (overlap removal, insertion, legality)."""

@@ -1,0 +1,55 @@
+"""Fig. 1 — yield vs. TSV count for different manufacturing processes.
+
+The paper motivates the ``max_ill`` constraint with Miyakawa's yield data
+[39]: every process holds a flat yield up to a TSV-count knee and decays
+rapidly beyond it. This experiment regenerates the three curves from our
+yield model and derives the TSV budget (and the resulting max_ill for
+32-bit links) at a 95%-of-base target yield.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.models.tsv_model import DEFAULT_PROCESSES, TsvModel
+
+
+def run_yield_curves(
+    tsv_counts: Sequence[int] = (0, 200, 400, 600, 800, 1200, 1600, 2000, 2400, 3200),
+) -> ExperimentResult:
+    """Yield of every process at each TSV count (one row per count)."""
+    result = ExperimentResult(
+        name="Fig. 1: yield vs. TSV count",
+        columns=["tsv_count"] + list(DEFAULT_PROCESSES),
+        notes="flat up to a process knee, rapid decay beyond it",
+    )
+    for count in tsv_counts:
+        row = {"tsv_count": count}
+        for name, process in DEFAULT_PROCESSES.items():
+            row[name] = process.yield_at(count)
+        result.rows.append(row)
+    return result
+
+
+def run_budget_table(
+    relative_target: float = 0.95, width_bits: int = 32
+) -> ExperimentResult:
+    """TSV budget and max_ill per process at a relative yield target."""
+    model = TsvModel()
+    result = ExperimentResult(
+        name="TSV budget -> max_ill derivation",
+        columns=["process", "base_yield", "target_yield", "tsv_budget", "max_ill"],
+        notes=f"{width_bits}-bit links: {model.tsvs_per_link(width_bits)} TSVs per link",
+    )
+    for name, process in DEFAULT_PROCESSES.items():
+        target = process.base_yield * relative_target
+        budget = process.max_tsvs(target)
+        result.add(
+            process=name,
+            base_yield=process.base_yield,
+            target_yield=target,
+            tsv_budget=budget,
+            max_ill=model.max_ill_for_budget(budget, width_bits),
+        )
+    return result

@@ -1,0 +1,62 @@
+"""Figs. 21 & 22 — impact of the max_ill (TSV) constraint on power/latency.
+
+"With a tighter TSV constraint, the power consumption and latency increases
+significantly, as more switches are needed in the design. With less than ten
+inter-layer links, it is impossible to build any topology and having a
+max_ill constraint larger than 24 does not improve the results anymore."
+
+The exact infeasibility threshold depends on the layer assignment of the
+benchmark (our synthetic D_36_4 keeps more traffic intra-layer than the
+original), but the shape — infeasible below a floor, monotonically improving
+to saturation — is reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.errors import SynthesisError
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config_for,
+    synthesize_cached,
+)
+
+DEFAULT_SWEEP = (1, 2, 3, 4, 6, 8, 10, 14, 18, 22, 25, 30)
+
+
+def run_max_ill_sweep(
+    benchmark: str = "d36_4",
+    max_ill_values: Sequence[int] = DEFAULT_SWEEP,
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """One row per max_ill value: best power, latency, and TSV usage."""
+    table = ExperimentResult(
+        name=f"Figs. 21-22: impact of max_ill, {benchmark}",
+        columns=[
+            "max_ill", "power_mw", "latency_cyc", "switches",
+            "vertical_links", "max_ill_used", "phase", "theta",
+        ],
+    )
+    for max_ill in max_ill_values:
+        base = config if config is not None else default_config_for(benchmark)
+        cfg = base.with_(max_ill=max_ill)
+        try:
+            point = synthesize_cached(benchmark, "3d", cfg).best_power()
+        except SynthesisError:
+            table.add(max_ill=max_ill, power_mw=None, latency_cyc=None,
+                      switches=None, vertical_links=None, max_ill_used=None,
+                      phase="infeasible", theta=None)
+            continue
+        table.add(
+            max_ill=max_ill,
+            power_mw=point.total_power_mw,
+            latency_cyc=point.avg_latency_cycles,
+            switches=point.switch_count,
+            vertical_links=point.metrics.num_vertical_links,
+            max_ill_used=point.metrics.max_ill_used,
+            phase=point.phase,
+            theta=point.assignment.theta,
+        )
+    return table

@@ -1,0 +1,84 @@
+"""Figs. 10 & 11 — NoC power vs. switch count, 2-D and 3-D (D_26_media).
+
+The paper plots, for every synthesized switch count, the power split into
+switch power, switch-to-switch link power and core-to-switch link power —
+first for the 2-D implementation (Fig. 10), then for the 3-D one (Fig. 11).
+The 3-D curves sit below the 2-D ones (24% at the best points in the paper)
+because long horizontal wires are replaced by short vertical ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SynthesisConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config_for,
+    synthesize_cached,
+)
+
+
+def run_power_vs_switches(
+    benchmark: str = "d26_media",
+    dims: str = "3d",
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """One row per valid switch count: the three power components + total."""
+    if config is None:
+        config = default_config_for(benchmark)
+    result = synthesize_cached(benchmark, dims, config)
+
+    fig = "Fig. 11 (3-D)" if dims == "3d" else "Fig. 10 (2-D)"
+    table = ExperimentResult(
+        name=f"{fig}: power vs. switch count, {benchmark}",
+        columns=[
+            "switches", "switch_mw", "sw2sw_link_mw", "core2sw_link_mw",
+            "total_mw", "latency_cyc", "phase",
+        ],
+        notes=f"frequency {config.frequency_mhz:g} MHz, max_ill {config.max_ill}",
+    )
+    by_count = {}
+    for point in result.points:
+        # Keep the best (lowest-power) point per switch count.
+        prev = by_count.get(point.switch_count)
+        if prev is None or point.total_power_mw < prev.total_power_mw:
+            by_count[point.switch_count] = point
+    for count in sorted(by_count):
+        p = by_count[count]
+        m = p.metrics
+        table.add(
+            switches=count,
+            switch_mw=m.switch_power_mw,
+            sw2sw_link_mw=m.sw2sw_link_power_mw,
+            core2sw_link_mw=m.core2sw_link_power_mw,
+            total_mw=m.total_power_mw,
+            latency_cyc=m.avg_latency_cycles,
+            phase=p.phase,
+        )
+    return table
+
+
+def run_2d_vs_3d_best(
+    benchmark: str = "d26_media",
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """The headline D_26_media comparison: best 2-D vs best 3-D point."""
+    if config is None:
+        config = default_config_for(benchmark)
+    table = ExperimentResult(
+        name=f"Best power points, 2-D vs 3-D, {benchmark}",
+        columns=["dims", "switches", "total_mw", "latency_cyc", "saving_pct"],
+    )
+    p2 = synthesize_cached(benchmark, "2d", config).best_power()
+    p3 = synthesize_cached(benchmark, "3d", config).best_power()
+    table.add(
+        dims="2d", switches=p2.switch_count, total_mw=p2.total_power_mw,
+        latency_cyc=p2.avg_latency_cycles, saving_pct=0.0,
+    )
+    table.add(
+        dims="3d", switches=p3.switch_count, total_mw=p3.total_power_mw,
+        latency_cyc=p3.avg_latency_cycles,
+        saving_pct=100.0 * (1.0 - p3.total_power_mw / p2.total_power_mw),
+    )
+    return table

@@ -1,0 +1,68 @@
+"""Table I — 2-D vs. 3-D NoC comparison on the six benchmarks.
+
+For each benchmark the paper reports link power, switch power, total power
+and average zero-load latency for the least-power 2-D and 3-D design points.
+The paper measures an average 38% power and 13% latency reduction for 3-D;
+the *shape* to reproduce is: 3-D wins everywhere, the distributed designs
+save the most, the pipelined ones the least.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.registry import TABLE1_BENCHMARKS
+from repro.core.config import SynthesisConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config_for,
+    synthesize_cached,
+)
+
+
+def run_table1(
+    benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """One row per benchmark with the full Table I column set."""
+    table = ExperimentResult(
+        name="Table I: 2-D vs. 3-D NoC comparison",
+        columns=[
+            "benchmark",
+            "link_2d_mw", "link_3d_mw",
+            "switch_2d_mw", "switch_3d_mw",
+            "total_2d_mw", "total_3d_mw",
+            "lat_2d_cyc", "lat_3d_cyc",
+            "power_saving_pct", "latency_saving_pct",
+        ],
+    )
+    power_savings = []
+    latency_savings = []
+    for name in benchmarks:
+        cfg = config if config is not None else default_config_for(name)
+        p2 = synthesize_cached(name, "2d", cfg).best_power()
+        p3 = synthesize_cached(name, "3d", cfg).best_power()
+        ps = 100.0 * (1.0 - p3.total_power_mw / p2.total_power_mw)
+        ls = 100.0 * (1.0 - p3.avg_latency_cycles / p2.avg_latency_cycles)
+        power_savings.append(ps)
+        latency_savings.append(ls)
+        table.add(
+            benchmark=name,
+            link_2d_mw=p2.metrics.link_power_mw,
+            link_3d_mw=p3.metrics.link_power_mw,
+            switch_2d_mw=p2.metrics.switch_power_mw,
+            switch_3d_mw=p3.metrics.switch_power_mw,
+            total_2d_mw=p2.total_power_mw,
+            total_3d_mw=p3.total_power_mw,
+            lat_2d_cyc=p2.avg_latency_cycles,
+            lat_3d_cyc=p3.avg_latency_cycles,
+            power_saving_pct=ps,
+            latency_saving_pct=ls,
+        )
+    if power_savings:
+        table.notes = (
+            f"average power saving {sum(power_savings) / len(power_savings):.1f}% "
+            f"(paper: 38%), average latency saving "
+            f"{sum(latency_savings) / len(latency_savings):.1f}% (paper: 13%)"
+        )
+    return table

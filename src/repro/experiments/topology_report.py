@@ -1,0 +1,108 @@
+"""Figs. 13-16 — the synthesized D_26_media topology and floorplan.
+
+Fig. 13 shows the most power-efficient Phase 1 topology, Fig. 14 the
+layer-by-layer (Phase 2) topology, Fig. 15 the resulting 3-D floorplan with
+the inserted switches, and Fig. 16 the initial core placement. These are
+drawings in the paper; here they are rendered as structured text reports
+(plus row data for assertions in the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.registry import get_benchmark
+from repro.core.config import SynthesisConfig
+from repro.core.design_point import DesignPoint
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config_for,
+    synthesize_cached,
+)
+
+
+def run_topology_report(
+    benchmark: str = "d26_media",
+    phase: str = "phase1",
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """Per-switch rows of the best topology: layer, cores, ports, links.
+
+    ``phase="phase1"`` reproduces Fig. 13, ``phase="phase2"`` Fig. 14 (the
+    layer-by-layer topology, which uses far fewer inter-layer links at a
+    power/latency price).
+    """
+    if config is None:
+        config = default_config_for(benchmark, phase=phase)
+    else:
+        config = config.with_(phase=phase)
+    point = synthesize_cached(benchmark, "3d", config).best_power()
+    bench = get_benchmark(benchmark)
+    names = bench.core_spec_3d.names
+
+    fig = "Fig. 13" if phase == "phase1" else "Fig. 14"
+    table = ExperimentResult(
+        name=f"{fig}: best {phase} topology, {benchmark}",
+        columns=["switch", "layer", "in_ports", "out_ports", "cores"],
+        notes=(
+            f"{point.switch_count} switches, "
+            f"{point.metrics.num_vertical_links} vertical links "
+            f"(max ill {point.metrics.max_ill_used}), "
+            f"power {point.total_power_mw:.1f} mW, "
+            f"latency {point.avg_latency_cycles:.2f} cycles"
+        ),
+    )
+    core_lists: List[List[str]] = [[] for _ in point.topology.switches]
+    for core, sw in sorted(point.topology.core_to_switch.items()):
+        core_lists[sw].append(names[core])
+    for sw in point.topology.switches:
+        table.add(
+            switch=f"sw{sw.id}",
+            layer=sw.layer,
+            in_ports=sw.in_ports,
+            out_ports=sw.out_ports,
+            cores=",".join(core_lists[sw.id]) or "(indirect)",
+        )
+    return table
+
+
+def run_floorplan_report(
+    benchmark: str = "d26_media",
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """Fig. 15/16: per-component placement of the best 3-D design point."""
+    if config is None:
+        config = default_config_for(benchmark)
+    point = synthesize_cached(benchmark, "3d", config).best_power()
+    table = ExperimentResult(
+        name=f"Fig. 15: 3-D floorplan with network components, {benchmark}",
+        columns=["component", "kind", "layer", "x_mm", "y_mm", "w_mm", "h_mm"],
+        notes=f"die area {point.die_area_mm2:.2f} mm^2 (max layer bbox)",
+    )
+    for comp in sorted(
+        point.floorplan, key=lambda c: (c.layer, c.kind, c.name)
+    ):
+        table.add(
+            component=comp.name, kind=comp.kind, layer=comp.layer,
+            x_mm=comp.rect.x, y_mm=comp.rect.y,
+            w_mm=comp.rect.width, h_mm=comp.rect.height,
+        )
+    return table
+
+
+def describe_design_point(point: DesignPoint) -> str:
+    """A compact multi-line description of a design point (CLI output)."""
+    lines = [point.summary()]
+    for sw in point.topology.switches:
+        lines.append(
+            f"  sw{sw.id}: layer {sw.layer}, {sw.in_ports} in / "
+            f"{sw.out_ports} out ports at ({sw.x:.2f}, {sw.y:.2f})"
+        )
+    vertical = point.topology.vertical_links()
+    lines.append(f"  {len(vertical)} vertical links:")
+    for link in vertical:
+        lines.append(
+            f"    link{link.id}: {link.src} L{link.src_layer} -> "
+            f"{link.dst} L{link.dst_layer}, load {link.load_mbps:.0f} MB/s"
+        )
+    return "\n".join(lines)

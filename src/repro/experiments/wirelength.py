@@ -1,0 +1,50 @@
+"""Fig. 12 — wire-length distributions of the 2-D and 3-D designs.
+
+"From the figure, as expected, the 2-D design has many long wires." The
+experiment compares the link-length histograms of the best-power 2-D and
+3-D design points of D_26_media.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SynthesisConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config_for,
+    synthesize_cached,
+)
+from repro.noc.wire_stats import length_stats, wire_length_histogram
+
+
+def run_wirelength_distribution(
+    benchmark: str = "d26_media",
+    bin_width_mm: float = 0.5,
+    config: Optional[SynthesisConfig] = None,
+) -> ExperimentResult:
+    """Histogram rows: one per length bin, 2-D and 3-D counts side by side."""
+    if config is None:
+        config = default_config_for(benchmark)
+    p2 = synthesize_cached(benchmark, "2d", config).best_power()
+    p3 = synthesize_cached(benchmark, "3d", config).best_power()
+
+    lengths2 = p2.metrics.wire_lengths_mm
+    lengths3 = p3.metrics.wire_lengths_mm
+    max_mm = max(max(lengths2, default=0.0), max(lengths3, default=0.0))
+    bins2 = wire_length_histogram(lengths2, bin_width_mm, max_mm)
+    bins3 = wire_length_histogram(lengths3, bin_width_mm, max_mm)
+
+    mean2, max2, _ = length_stats(lengths2)
+    mean3, max3, _ = length_stats(lengths3)
+    table = ExperimentResult(
+        name=f"Fig. 12: wire-length distribution, {benchmark}",
+        columns=["bin_mm", "links_2d", "links_3d"],
+        notes=(
+            f"2-D mean {mean2:.2f} mm / max {max2:.2f} mm; "
+            f"3-D mean {mean3:.2f} mm / max {max3:.2f} mm"
+        ),
+    )
+    for b2, b3 in zip(bins2, bins3):
+        table.add(bin_mm=b2.label, links_2d=b2.count, links_3d=b3.count)
+    return table

@@ -1,0 +1,175 @@
+"""Sequence-pair simulated-annealing floorplanner (Parquet stand-in).
+
+Used to generate the *input* core floorplans of the benchmarks — the paper
+obtains those "using existing tools [38]" with area and wire-length as the
+objectives — and, through :mod:`repro.floorplan.constrained`, as the standard
+floorplanner baseline of Sec. VIII-D.
+
+Cost is ``area + wirelength_weight * HPWL-like bandwidth-weighted Manhattan
+wirelength``; both terms are normalised by their initial values so the weight
+is dimensionless. Moves are the three classic sequence-pair perturbations
+(swap in Gamma+, swap in Gamma-, swap in both). Rotation moves are omitted:
+core aspect ratios are part of the benchmark inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.floorplan.sequence_pair import SequencePair, seqpair_to_positions
+from repro.rng import make_rng
+
+#: Wirelength "nets": ((block_i, block_j) -> weight); external attractors are
+#: ((block_i, (x, y)) -> weight) entries keyed by index and a fixed point.
+PairNets = Mapping[Tuple[int, int], float]
+AnchorNets = Mapping[Tuple[int, Tuple[float, float]], float]
+
+
+@dataclass
+class FloorplanResult:
+    """Output of :func:`anneal_floorplan`."""
+
+    positions: List[Tuple[float, float]]
+    sequence_pair: SequencePair
+    area: float
+    wirelength: float
+    cost: float
+    moves_evaluated: int
+
+
+def anneal_floorplan(
+    widths: Sequence[float],
+    heights: Sequence[float],
+    nets: Optional[PairNets] = None,
+    anchors: Optional[AnchorNets] = None,
+    *,
+    wirelength_weight: float = 1.0,
+    seed: int = 0,
+    moves: int = 4000,
+    initial_temperature: float = 1.0,
+    cooling: float = 0.995,
+    initial_sp: Optional[SequencePair] = None,
+) -> FloorplanResult:
+    """Floorplan ``n`` blocks minimising area + weighted wirelength.
+
+    Args:
+        widths/heights: Block dimensions (mm), indexed 0..n-1.
+        nets: Bandwidth-weighted two-pin nets between blocks; wirelength is
+            the weighted Manhattan distance between block centres.
+        anchors: Nets from a block to a fixed external point — used to pull
+            cores towards the positions of their vertical neighbours when
+            floorplanning a 3-D stack layer by layer.
+        wirelength_weight: Relative weight of wirelength vs. area (both are
+            normalised by the initial solution's values).
+        seed: RNG seed; the run is fully deterministic.
+        moves: Number of annealing moves.
+        initial_temperature / cooling: Geometric schedule in normalised-cost
+            units.
+        initial_sp: Optional starting sequence pair (default: identity).
+
+    Returns:
+        The best found :class:`FloorplanResult` (not merely the final one).
+    """
+    n = len(widths)
+    if n == 0:
+        raise ValueError("cannot floorplan zero blocks")
+    if len(heights) != n:
+        raise ValueError("widths and heights must have equal length")
+    nets = dict(nets or {})
+    anchors = dict(anchors or {})
+
+    rng = make_rng(seed, "floorplan-anneal")
+    sp = initial_sp if initial_sp is not None else SequencePair.grid(n)
+    if sp.n != n:
+        raise ValueError(f"initial sequence pair has {sp.n} blocks, expected {n}")
+
+    def evaluate(sp_: SequencePair) -> Tuple[float, float, List[Tuple[float, float]]]:
+        pos = seqpair_to_positions(sp_, widths, heights)
+        area = _packed_area(pos, widths, heights)
+        wl = _wirelength(pos, widths, heights, nets, anchors)
+        return area, wl, pos
+
+    area0, wl0, pos0 = evaluate(sp)
+    area_scale = area0 if area0 > 0 else 1.0
+    wl_scale = wl0 if wl0 > 0 else 1.0
+
+    def cost_of(area: float, wl: float) -> float:
+        return area / area_scale + wirelength_weight * wl / wl_scale
+
+    current_cost = cost_of(area0, wl0)
+    best = FloorplanResult(
+        positions=pos0, sequence_pair=sp, area=area0, wirelength=wl0,
+        cost=current_cost, moves_evaluated=0,
+    )
+
+    temperature = initial_temperature
+    evaluated = 0
+    for _ in range(moves):
+        if n == 1:
+            break
+        candidate = _perturb(sp, rng)
+        area, wl, pos = evaluate(candidate)
+        cand_cost = cost_of(area, wl)
+        evaluated += 1
+        accept = cand_cost <= current_cost or (
+            temperature > 1e-12
+            and rng.random() < math.exp((current_cost - cand_cost) / temperature)
+        )
+        if accept:
+            sp = candidate
+            current_cost = cand_cost
+            if cand_cost < best.cost:
+                best = FloorplanResult(
+                    positions=pos, sequence_pair=sp, area=area, wirelength=wl,
+                    cost=cand_cost, moves_evaluated=evaluated,
+                )
+        temperature *= cooling
+
+    best.moves_evaluated = evaluated
+    return best
+
+
+def _perturb(sp: SequencePair, rng) -> SequencePair:
+    n = sp.n
+    i, j = rng.randrange(n), rng.randrange(n)
+    while j == i:
+        j = rng.randrange(n)
+    move = rng.randrange(3)
+    if move == 0:
+        return sp.with_swap_positive(i, j)
+    if move == 1:
+        return sp.with_swap_negative(i, j)
+    return sp.with_swap_both(i, j)
+
+
+def _packed_area(
+    positions: Sequence[Tuple[float, float]],
+    widths: Sequence[float],
+    heights: Sequence[float],
+) -> float:
+    w = max(x + widths[i] for i, (x, _) in enumerate(positions))
+    h = max(y + heights[i] for i, (_, y) in enumerate(positions))
+    return w * h
+
+
+def _wirelength(
+    positions: Sequence[Tuple[float, float]],
+    widths: Sequence[float],
+    heights: Sequence[float],
+    nets: Dict[Tuple[int, int], float],
+    anchors: Dict[Tuple[int, Tuple[float, float]], float],
+) -> float:
+    def center(i: int) -> Tuple[float, float]:
+        x, y = positions[i]
+        return (x + widths[i] / 2.0, y + heights[i] / 2.0)
+
+    total = 0.0
+    for (a, b), weight in nets.items():
+        ca, cb = center(a), center(b)
+        total += weight * (abs(ca[0] - cb[0]) + abs(ca[1] - cb[1]))
+    for (a, point), weight in anchors.items():
+        ca = center(a)
+        total += weight * (abs(ca[0] - point[0]) + abs(ca[1] - point[1]))
+    return total

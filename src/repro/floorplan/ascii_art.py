@@ -1,0 +1,75 @@
+"""ASCII rendering of floorplans (terminal-friendly Figs. 15/16).
+
+The paper's floorplan figures are drawings; for a terminal tool, an ASCII
+raster is the closest equivalent. Each layer becomes a character grid:
+cores print the first letter(s) of their name, switches ``#``, TSV macros
+``+``, empty silicon ``.``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.floorplan.placement import ChipFloorplan
+
+
+def render_layer(
+    floorplan: ChipFloorplan,
+    layer: int,
+    width_chars: int = 64,
+) -> str:
+    """Render one layer of the floorplan as an ASCII grid."""
+    comps = floorplan.in_layer(layer)
+    if not comps:
+        return f"(layer {layer}: empty)"
+    bbox = floorplan.layer_bbox(layer)
+    if bbox.width <= 0 or bbox.height <= 0:
+        return f"(layer {layer}: degenerate bbox)"
+
+    scale = width_chars / bbox.width
+    height_chars = max(3, int(round(bbox.height * scale * 0.5)))  # 2:1 aspect
+    grid: List[List[str]] = [
+        ["." for _ in range(width_chars)] for _ in range(height_chars)
+    ]
+    labels: Dict[str, str] = {}
+
+    def to_col(x: float) -> int:
+        return min(width_chars - 1, max(0, int((x - bbox.x) * scale)))
+
+    def to_row(y: float) -> int:
+        # Row 0 is the TOP of the drawing.
+        frac = (y - bbox.y) / bbox.height
+        return min(height_chars - 1, max(0, height_chars - 1 - int(frac * height_chars)))
+
+    # Draw big components first so small ones stay visible on top.
+    for comp in sorted(comps, key=lambda c: -c.rect.area):
+        c0, c1 = to_col(comp.rect.x), to_col(comp.rect.x2 - 1e-9)
+        r1, r0 = to_row(comp.rect.y), to_row(comp.rect.y2 - 1e-9)
+        if comp.kind == "switch":
+            fill = "#"
+        elif comp.kind == "tsv":
+            fill = "+"
+        else:
+            fill = comp.name[0].upper()
+        for r in range(min(r0, r1), max(r0, r1) + 1):
+            for c in range(c0, c1 + 1):
+                grid[r][c] = fill
+        # Stamp a short label inside cores when there is room.
+        if comp.kind == "core" and c1 - c0 >= len(comp.name):
+            rmid = (r0 + r1) // 2
+            for k, ch in enumerate(comp.name[: c1 - c0]):
+                grid[rmid][c0 + 1 + k] = ch
+        labels[comp.name] = fill
+
+    lines = [f"layer {layer}  ({bbox.width:.2f} x {bbox.height:.2f} mm)"]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)
+
+
+def render_floorplan(floorplan: ChipFloorplan, width_chars: int = 64) -> str:
+    """Render every layer, bottom to top."""
+    parts = []
+    for layer in range(floorplan.num_layers):
+        parts.append(render_layer(floorplan, layer, width_chars))
+    legend = "legend: letters = cores, # = switch, + = TSV macro, . = free"
+    return ("\n\n".join(parts)) + "\n" + legend

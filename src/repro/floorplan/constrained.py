@@ -1,0 +1,171 @@
+"""The "constrained standard floorplanner" baseline (Sec. VIII-D).
+
+The paper compares its custom insertion routine against Parquet [38]
+"modified in order to constrain it from swapping blocks, so that the relative
+positions of the input cores remain the same after the NoC insertion". We
+reproduce that baseline with our sequence-pair annealer: the cores' relative
+order in both sequences is frozen; annealing moves only relocate the network
+components within the sequences. The cost minimised is packed area plus the
+displacement of the network components from their LP-ideal positions.
+
+Because the sequence-pair packing re-compacts all blocks, core *absolute*
+positions shift even though their relative order is preserved — exactly the
+behaviour the paper describes as unpredictable and often poor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.inserter import NewComponent
+from repro.floorplan.placement import PlacedComponent
+from repro.floorplan.sequence_pair import (
+    SequencePair,
+    positions_to_seqpair,
+    seqpair_to_positions,
+)
+from repro.rng import make_rng
+
+
+def constrained_insert(
+    existing: Sequence[PlacedComponent],
+    new_components: Sequence[NewComponent],
+    *,
+    seed: int = 0,
+    moves: int = 3000,
+    displacement_weight: float = 1.0,
+    initial_temperature: float = 1.0,
+    cooling: float = 0.995,
+) -> List[PlacedComponent]:
+    """Insert network components with the constrained-annealer baseline.
+
+    Args/returns mirror :func:`repro.floorplan.inserter.insert_components`.
+    """
+    layers = {c.layer for c in existing}
+    if len(layers) > 1:
+        raise FloorplanError(
+            f"constrained_insert works on a single layer, got {sorted(layers)}"
+        )
+    layer = layers.pop() if layers else 0
+
+    n_cores = len(existing)
+    n_new = len(new_components)
+    if n_new == 0:
+        return list(existing)
+
+    widths = [c.rect.width for c in existing] + [c.width for c in new_components]
+    heights = [c.rect.height for c in existing] + [c.height for c in new_components]
+    positions = [(c.rect.x, c.rect.y) for c in existing] + [
+        (
+            max(0.0, c.ideal_center[0] - c.width / 2.0),
+            max(0.0, c.ideal_center[1] - c.height / 2.0),
+        )
+        for c in new_components
+    ]
+    ideals = [c.ideal_center for c in new_components]
+
+    sp = positions_to_seqpair(positions, widths, heights)
+    new_ids = set(range(n_cores, n_cores + n_new))
+
+    core_anchors = [
+        (c.rect.x + c.rect.width / 2.0, c.rect.y + c.rect.height / 2.0)
+        for c in existing
+    ]
+
+    def evaluate(sp_: SequencePair) -> Tuple[float, float]:
+        pos = seqpair_to_positions(sp_, widths, heights)
+        area = max(p[0] + widths[i] for i, p in enumerate(pos)) * max(
+            p[1] + heights[i] for i, p in enumerate(pos)
+        )
+        disp = 0.0
+        for j, bid in enumerate(range(n_cores, n_cores + n_new)):
+            cx = pos[bid][0] + widths[bid] / 2.0
+            cy = pos[bid][1] + heights[bid] / 2.0
+            disp += abs(cx - ideals[j][0]) + abs(cy - ideals[j][1])
+        # "keep the cores close to their initial placement" (Sec. VIII-D):
+        # the constrained standard floorplanner must also pay for moving
+        # the cores away from the input floorplan.
+        for i in range(n_cores):
+            cx = pos[i][0] + widths[i] / 2.0
+            cy = pos[i][1] + heights[i] / 2.0
+            disp += abs(cx - core_anchors[i][0]) + abs(cy - core_anchors[i][1])
+        return area, disp
+
+    area0, disp0 = evaluate(sp)
+    area_scale = area0 if area0 > 0 else 1.0
+    # Normalise displacement by one die diagonal per block, so the penalty
+    # stays comparable to the area term regardless of the initial packing.
+    diag = max(c.rect.x2 for c in existing) + max(c.rect.y2 for c in existing) \
+        if existing else 1.0
+    disp_scale = max(diag * max(1, n_cores + n_new) * 0.25, 1e-9)
+
+    def cost(area: float, disp: float) -> float:
+        return area / area_scale + displacement_weight * disp / disp_scale
+
+    rng = make_rng(seed, "constrained-insert")
+    current = cost(area0, disp0)
+    best_sp, best_cost = sp, current
+    temperature = initial_temperature
+
+    for _ in range(moves):
+        candidate = _relocate_new_block(sp, new_ids, rng)
+        if candidate is None:
+            break
+        area, disp = evaluate(candidate)
+        cand = cost(area, disp)
+        if cand <= current or (
+            temperature > 1e-12
+            and rng.random() < math.exp((current - cand) / temperature)
+        ):
+            sp, current = candidate, cand
+            if cand < best_cost:
+                best_sp, best_cost = candidate, cand
+        temperature *= cooling
+
+    final_positions = seqpair_to_positions(best_sp, widths, heights)
+    out: List[PlacedComponent] = []
+    for i, comp in enumerate(existing):
+        x, y = final_positions[i]
+        out.append(
+            PlacedComponent(
+                name=comp.name, kind=comp.kind,
+                rect=comp.rect.moved_to(x, y), layer=layer,
+            )
+        )
+    for j, comp in enumerate(new_components):
+        x, y = final_positions[n_cores + j]
+        from repro.floorplan.geometry import Rect
+
+        out.append(
+            PlacedComponent(
+                name=comp.name, kind=comp.kind,
+                rect=Rect(x, y, comp.width, comp.height), layer=layer,
+            )
+        )
+    return out
+
+
+def _relocate_new_block(
+    sp: SequencePair, new_ids: set, rng
+) -> Optional[SequencePair]:
+    """Move one network-component entry to a new slot in one/both sequences.
+
+    Core relative order is untouched because only new-component entries are
+    extracted and reinserted.
+    """
+    if not new_ids:
+        return None
+    block = rng.choice(sorted(new_ids))
+    which = rng.randrange(3)  # 0: positive, 1: negative, 2: both
+
+    positive = list(sp.positive)
+    negative = list(sp.negative)
+    if which in (0, 2):
+        positive.remove(block)
+        positive.insert(rng.randrange(len(positive) + 1), block)
+    if which in (1, 2):
+        negative.remove(block)
+        negative.insert(rng.randrange(len(negative) + 1), block)
+    return SequencePair(positive=tuple(positive), negative=tuple(negative))

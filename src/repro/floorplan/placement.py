@@ -1,0 +1,116 @@
+"""Placed-component containers: the output side of floorplanning.
+
+A :class:`ChipFloorplan` holds every placed component (cores, switches, TSV
+macros) across all 3-D layers and answers the geometric queries the metrics
+code needs: component centres, per-layer bounding boxes, and the die area
+(the maximum layer bounding-box area — all dies in a wafer-to-wafer stack
+share one outline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.geometry import Rect, bounding_box, rects_overlap
+
+#: Component kinds understood by the floorplan code.
+KINDS = ("core", "switch", "tsv")
+
+
+@dataclass(frozen=True)
+class PlacedComponent:
+    """A named rectangle on a specific 3-D layer."""
+
+    name: str
+    kind: str
+    rect: Rect
+    layer: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FloorplanError(f"unknown component kind {self.kind!r}")
+        if self.layer < 0:
+            raise FloorplanError(f"layer must be >= 0, got {self.layer}")
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return self.rect.center
+
+
+@dataclass
+class ChipFloorplan:
+    """All placed components of a (possibly multi-layer) chip."""
+
+    components: List[PlacedComponent] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[PlacedComponent]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def add(self, component: PlacedComponent) -> None:
+        self.components.append(component)
+
+    def by_name(self, name: str) -> PlacedComponent:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise FloorplanError(f"no component named {name!r}")
+
+    def has(self, name: str) -> bool:
+        return any(c.name == name for c in self.components)
+
+    def in_layer(self, layer: int) -> List[PlacedComponent]:
+        return [c for c in self.components if c.layer == layer]
+
+    def of_kind(self, kind: str) -> List[PlacedComponent]:
+        return [c for c in self.components if c.kind == kind]
+
+    @property
+    def num_layers(self) -> int:
+        if not self.components:
+            return 0
+        return max(c.layer for c in self.components) + 1
+
+    def layer_bbox(self, layer: int) -> Optional[Rect]:
+        return bounding_box(c.rect for c in self.in_layer(layer))
+
+    def die_area_mm2(self) -> float:
+        """Area of the die outline: the largest layer bounding box.
+
+        In a wafer-to-wafer stack every layer shares the same outline, so the
+        chip die area is determined by the most spread-out layer.
+        """
+        areas = []
+        for layer in range(self.num_layers):
+            bbox = self.layer_bbox(layer)
+            if bbox is not None:
+                areas.append(bbox.area)
+        return max(areas) if areas else 0.0
+
+    def total_component_area_mm2(self, kind: Optional[str] = None) -> float:
+        comps = self.components if kind is None else self.of_kind(kind)
+        return sum(c.rect.area for c in comps)
+
+    def overlaps(self) -> List[Tuple[str, str]]:
+        """All pairs of overlapping components within any layer."""
+        bad: List[Tuple[str, str]] = []
+        layers: Dict[int, List[PlacedComponent]] = {}
+        for c in self.components:
+            layers.setdefault(c.layer, []).append(c)
+        for comps in layers.values():
+            for i in range(len(comps)):
+                for j in range(i + 1, len(comps)):
+                    if rects_overlap(comps[i].rect, comps[j].rect):
+                        bad.append((comps[i].name, comps[j].name))
+        return bad
+
+    def is_legal(self) -> bool:
+        """True if no two components on the same layer overlap."""
+        return not self.overlaps()
+
+    def center_of(self, name: str) -> Tuple[float, float]:
+        return self.by_name(name).center

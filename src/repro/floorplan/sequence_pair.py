@@ -1,0 +1,157 @@
+"""Sequence-pair floorplan representation.
+
+A sequence pair (Gamma+, Gamma-) encodes the relative positions of n blocks:
+block ``a`` is left of ``b`` iff ``a`` precedes ``b`` in both sequences, and
+below ``b`` iff ``a`` follows ``b`` in Gamma+ but precedes it in Gamma-.
+Packing to coordinates is a pair of longest-path computations, O(n^2) here
+(amply fast for the block counts in this domain).
+
+This is the representation Parquet [38] uses; our annealer and constrained
+inserter both operate on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SequencePair:
+    """A pair of permutations of block indices ``0..n-1``."""
+
+    positive: Tuple[int, ...]
+    negative: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.positive)
+        if sorted(self.positive) != list(range(n)):
+            raise ValueError("positive sequence is not a permutation of 0..n-1")
+        if sorted(self.negative) != list(range(n)):
+            raise ValueError("negative sequence is not a permutation of 0..n-1")
+
+    @property
+    def n(self) -> int:
+        return len(self.positive)
+
+    @staticmethod
+    def identity(n: int) -> "SequencePair":
+        """The trivial sequence pair placing blocks in a diagonal row."""
+        seq = tuple(range(n))
+        return SequencePair(positive=seq, negative=seq)
+
+    @staticmethod
+    def grid(n: int) -> "SequencePair":
+        """A sequence pair packing blocks roughly into a square grid.
+
+        Blocks fill a ceil(sqrt(n))-wide grid row-major; within a row blocks
+        go left to right, rows stack bottom to top. This is the annealer's
+        starting point — the identity pair degenerates into a single row,
+        which simulated annealing cannot repair for large n.
+        """
+        import math
+
+        side = max(1, int(math.ceil(math.sqrt(n))))
+        cells = [(i // side, i % side) for i in range(n)]  # (row, col)
+        # b left-of c  <=> same row, smaller col  (earlier in both sequences)
+        # b below c    <=> later in positive, earlier in negative.
+        positive = tuple(
+            sorted(range(n), key=lambda i: (-cells[i][0], cells[i][1]))
+        )
+        negative = tuple(
+            sorted(range(n), key=lambda i: (cells[i][0], cells[i][1]))
+        )
+        return SequencePair(positive=positive, negative=negative)
+
+    def with_swap_positive(self, i: int, j: int) -> "SequencePair":
+        pos = list(self.positive)
+        pos[i], pos[j] = pos[j], pos[i]
+        return SequencePair(positive=tuple(pos), negative=self.negative)
+
+    def with_swap_negative(self, i: int, j: int) -> "SequencePair":
+        neg = list(self.negative)
+        neg[i], neg[j] = neg[j], neg[i]
+        return SequencePair(positive=self.positive, negative=tuple(neg))
+
+    def with_swap_both(self, i: int, j: int) -> "SequencePair":
+        """Swap the blocks at positions i and j in both sequences."""
+        return self.with_swap_positive(i, j).with_swap_negative(
+            self.negative.index(self.positive[j]),
+            self.negative.index(self.positive[i]),
+        )
+
+
+def seqpair_to_positions(
+    sp: SequencePair,
+    widths: Sequence[float],
+    heights: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """Pack the sequence pair into lower-left block coordinates.
+
+    Returns one (x, y) per block index. The packing is the classic
+    longest-path evaluation: x of a block is the max right edge of all blocks
+    that must lie to its left; y symmetric. The inner maxima are vectorised
+    with numpy — this function is the annealer's hot loop.
+    """
+    import numpy as np
+
+    n = sp.n
+    if len(widths) != n or len(heights) != n:
+        raise ValueError(
+            f"need {n} widths/heights, got {len(widths)}/{len(heights)}"
+        )
+
+    pos_rank = np.empty(n, dtype=np.int64)
+    for r, b in enumerate(sp.positive):
+        pos_rank[b] = r
+
+    w = np.asarray(widths, dtype=float)
+    h = np.asarray(heights, dtype=float)
+    xs = np.zeros(n)
+    ys = np.zeros(n)
+
+    # Process blocks in Gamma- order: everything already processed has a
+    # smaller Gamma- rank. Among those, smaller Gamma+ rank => left-of
+    # (constrains x); larger Gamma+ rank => below (constrains y).
+    done = np.zeros(n, dtype=bool)
+    for b in sp.negative:
+        if done.any():
+            rb = pos_rank[b]
+            left = done & (pos_rank < rb)
+            below = done & (pos_rank > rb)
+            if left.any():
+                xs[b] = np.max(xs[left] + w[left])
+            if below.any():
+                ys[b] = np.max(ys[below] + h[below])
+        done[b] = True
+
+    return list(zip(xs.tolist(), ys.tolist()))
+
+
+def positions_to_seqpair(
+    positions: Sequence[Tuple[float, float]],
+    widths: Sequence[float],
+    heights: Sequence[float],
+) -> SequencePair:
+    """Derive a sequence pair consistent with existing block positions.
+
+    Used to seed the constrained inserter from an already-placed floorplan:
+    the returned pair packs to a placement preserving the relative order of
+    the blocks. Blocks are ordered by the classic mapping: Gamma+ sorts by
+    (x - y) dominance diagonal, Gamma- by (x + y) anti-diagonal, using block
+    centres.
+    """
+    n = len(positions)
+    if len(widths) != n or len(heights) != n:
+        raise ValueError("positions/widths/heights length mismatch")
+    centers = [
+        (positions[i][0] + widths[i] / 2.0, positions[i][1] + heights[i] / 2.0)
+        for i in range(n)
+    ]
+    positive = tuple(
+        sorted(range(n), key=lambda i: (centers[i][0] - centers[i][1], i))
+    )
+    negative = tuple(
+        sorted(range(n), key=lambda i: (centers[i][0] + centers[i][1], i))
+    )
+    return SequencePair(positive=positive, negative=negative)

@@ -1,0 +1,13 @@
+"""Graph substrate: communication graphs and balanced min-cut partitioning.
+
+SunFloor 3D's core-to-switch assignment (Algorithms 1 and 2) relies on a
+balanced k-way min-cut partitioner. The original tool used an external
+partitioning package; here :mod:`repro.graphs.partition` implements one from
+scratch (greedy seeded growth + pairwise Kernighan-Lin refinement, plus
+balance-preserving single-node moves).
+"""
+
+from repro.graphs.comm_graph import CommGraph, build_comm_graph
+from repro.graphs.partition import cut_value, kway_min_cut
+
+__all__ = ["CommGraph", "build_comm_graph", "kway_min_cut", "cut_value"]

@@ -1,0 +1,19 @@
+"""Linear-programming substrate.
+
+Section VII of the paper formulates switch-position computation as an LP
+(Eqs. 2-5) and solves it with the external ``lp_solve`` package [37]. This
+package replaces it with:
+
+* :mod:`repro.lp.model` — a small modelling layer (named variables with
+  bounds, <=/>=/== constraints, linear objective);
+* :mod:`repro.lp.scipy_backend` — lowering to ``scipy.optimize.linprog``
+  (HiGHS), the default solver;
+* :mod:`repro.lp.simplex` — a self-contained dense two-phase simplex with
+  Bland's rule, used as a dependency-free fallback and as a cross-check in
+  the test suite.
+"""
+
+from repro.lp.model import LinearProgram, Solution
+from repro.lp.simplex import SimplexResult, solve_simplex
+
+__all__ = ["LinearProgram", "Solution", "solve_simplex", "SimplexResult"]

@@ -1,0 +1,35 @@
+"""Technology models: switch, planar link, TSV vertical link, yield.
+
+The paper takes "the power, area, and timing models of the NoC switches and
+links" as inputs (Sec. IV), using post-layout numbers of the ×pipesLite
+library at 65 nm [35] and the vertical-link measurements of Loi et al. [34].
+Those libraries are proprietary, so this package provides parametric analytic
+models with constants calibrated to the figures the paper quotes:
+
+* a single switch costs a few mW at 1 GHz and a few thousand gates;
+* the maximum frequency of a switch falls as its port count grows;
+* an unrepeated planar link at 65 nm spans at most 1.5 mm;
+* a TSV vertical link has roughly an order of magnitude lower R and C than a
+  moderate planar link (~17 ps delay), making inter-layer hops nearly free;
+* yield stays flat up to a process-dependent TSV count and drops rapidly
+  beyond it (Fig. 1, after Miyakawa [39]).
+
+The synthesis algorithms consume only the model interfaces, so any other
+NoC library can be plugged in (as the paper states).
+"""
+
+from repro.models.switch_model import SwitchModel
+from repro.models.link_model import LinkModel
+from repro.models.tsv_model import TsvModel, TsvProcess, yield_for_tsv_count, max_tsvs_for_yield
+from repro.models.library import NocLibrary, default_library
+
+__all__ = [
+    "SwitchModel",
+    "LinkModel",
+    "TsvModel",
+    "TsvProcess",
+    "NocLibrary",
+    "default_library",
+    "yield_for_tsv_count",
+    "max_tsvs_for_yield",
+]

@@ -1,0 +1,102 @@
+"""Parametric power/delay model of planar (intra-layer) NoC links.
+
+Links are the dominant power consumer in 2-D designs (Table I of the paper),
+because global-wire energy grows linearly with length while switch energy is
+length-independent. The model is::
+
+    E(flit, length)  = e_planar_pj_per_mm * length          [pJ/flit]
+    P_static(length) = static_mw_per_mm * length            [mW]  (repeaters)
+    stages(length)   = ceil(length * wire_delay_ns_per_mm / cycle_ns)
+
+Long links are pipelined to sustain full throughput at the NoC frequency
+(Sec. VII: "we also pipeline long links to support full throughput"); each
+pipeline stage costs one cycle of latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import mega_ops_energy_to_mw
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Analytic planar-link model with 65 nm-flavoured default constants.
+
+    Attributes:
+        e_planar_pj_per_mm: Energy per flit per mm of wire (32-bit flit,
+            repeated global wire; ~0.125 pJ/bit/mm).
+        static_mw_per_mm: Repeater leakage per mm of 32-bit link.
+        wire_delay_ns_per_mm: Propagation delay of a repeated wire.
+        min_segment_mm: Shortest meaningful pipeline segment; also used as
+            the resolution when estimating lengths before placement.
+        ni_energy_pj: Energy per flit through a network interface (protocol
+            conversion, clock-domain crossing).
+        ni_area_mm2: Area of one network interface.
+        ni_delay_cycles: Latency contribution of source + destination NI.
+    """
+
+    e_planar_pj_per_mm: float = 4.0
+    static_mw_per_mm: float = 0.012
+    wire_delay_ns_per_mm: float = 0.9
+    min_segment_mm: float = 0.05
+    ni_energy_pj: float = 0.6
+    ni_area_mm2: float = 0.010
+    ni_delay_cycles: int = 1
+
+    def energy_per_flit_pj(self, length_mm: float) -> float:
+        """Energy to move one flit across a planar link of ``length_mm``."""
+        self._check_length(length_mm)
+        return self.e_planar_pj_per_mm * length_mm
+
+    def traffic_power_mw(self, length_mm: float, load_mflits_per_s: float) -> float:
+        """Dynamic power of the link under ``load`` Mflits/s."""
+        if load_mflits_per_s < 0:
+            raise ValueError(f"load must be non-negative, got {load_mflits_per_s}")
+        return mega_ops_energy_to_mw(
+            load_mflits_per_s, self.energy_per_flit_pj(length_mm)
+        )
+
+    def static_power_mw(self, length_mm: float) -> float:
+        """Repeater leakage of the link."""
+        self._check_length(length_mm)
+        return self.static_mw_per_mm * length_mm
+
+    def power_mw(self, length_mm: float, load_mflits_per_s: float) -> float:
+        """Total link power (static + dynamic)."""
+        return self.static_power_mw(length_mm) + self.traffic_power_mw(
+            length_mm, load_mflits_per_s
+        )
+
+    def pipeline_stages(self, length_mm: float, frequency_mhz: float) -> int:
+        """Number of pipeline stages (>= 1) needed to clock the link at
+        ``frequency_mhz`` while sustaining one flit per cycle.
+
+        A link shorter than one cycle's wire reach needs a single stage; each
+        additional cycle of propagation delay adds a register stage.
+        """
+        self._check_length(length_mm)
+        if frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+        if length_mm == 0:
+            return 1
+        cycle_ns = 1000.0 / frequency_mhz
+        wire_ns = length_mm * self.wire_delay_ns_per_mm
+        return max(1, math.ceil(wire_ns / cycle_ns))
+
+    def delay_cycles(self, length_mm: float, frequency_mhz: float) -> int:
+        """Zero-load latency of the link in cycles (== pipeline stages)."""
+        return self.pipeline_stages(length_mm, frequency_mhz)
+
+    def max_single_cycle_length_mm(self, frequency_mhz: float) -> float:
+        """Longest link traversable in a single cycle at ``frequency_mhz``."""
+        if frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+        cycle_ns = 1000.0 / frequency_mhz
+        return cycle_ns / self.wire_delay_ns_per_mm
+
+    def _check_length(self, length_mm: float) -> None:
+        if length_mm < 0:
+            raise ValueError(f"length must be non-negative, got {length_mm}")

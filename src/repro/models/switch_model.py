@@ -1,0 +1,138 @@
+"""Parametric power/area/timing model of a NoC switch.
+
+The model captures the three dependencies the synthesis algorithm exploits
+(paper Secs. IV, V-C and VIII-A):
+
+* **maximum frequency falls with port count** — "as the number of I/O ports
+  of a switch increases, the maximum frequency of operation that can be
+  supported by it reduces, as the combinational path inside the crossbar and
+  arbiter increases with size";
+* **power grows with port count** — clock tree, arbiter and crossbar scale
+  with the radix, so many small switches can beat few large ones;
+* **per-flit traversal energy grows with port count** — larger crossbars
+  burn more energy per transported flit.
+
+Power is decomposed as::
+
+    P(ports, f, load) = P_static(ports)
+                      + P_clock(ports) * f
+                      + E_flit(ports) * load
+
+with ``load`` the total flit rate through the switch in Mflits/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import mega_ops_energy_to_mw
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Analytic switch model with 65 nm-flavoured default constants.
+
+    Attributes:
+        static_base_mw: Leakage floor of the smallest switch (mW).
+        static_per_port_mw: Additional leakage per port (mW).
+        clock_base_mw_per_mhz: Clock-tree/control power slope (mW per MHz).
+        clock_per_port_mw_per_mhz: Clock power slope per port (mW per MHz).
+        energy_base_pj: Energy per flit through the smallest crossbar (pJ).
+        energy_per_port_pj: Additional per-flit energy per port (pJ).
+        fmax_intercept_mhz: Max frequency of a (hypothetical) 0-port switch.
+        fmax_slope_mhz_per_port: Frequency lost per added port.
+        fmax_floor_mhz: Clamp so f_max never reaches zero.
+        area_base_mm2: Area of the smallest switch (mm^2).
+        area_per_port_mm2: Area added per port (mm^2).
+        min_ports: Smallest meaningful switch radix (1 in + 1 out).
+    """
+
+    static_base_mw: float = 0.05
+    static_per_port_mw: float = 0.010
+    clock_base_mw_per_mhz: float = 0.002
+    clock_per_port_mw_per_mhz: float = 0.0008
+    energy_base_pj: float = 0.8
+    energy_per_port_pj: float = 0.12
+    fmax_intercept_mhz: float = 950.0
+    fmax_slope_mhz_per_port: float = 50.0
+    fmax_floor_mhz: float = 50.0
+    area_base_mm2: float = 0.005
+    area_per_port_mm2: float = 0.0035
+    min_ports: int = 2
+
+    def f_max(self, ports: int) -> float:
+        """Maximum operating frequency (MHz) of a switch with ``ports`` ports.
+
+        ``ports`` counts input and output ports together divided by two is not
+        used; we follow the paper's convention of a single "switch size"
+        number, the larger of input and output port counts.
+        """
+        self._check_ports(ports)
+        f = self.fmax_intercept_mhz - self.fmax_slope_mhz_per_port * ports
+        return max(f, self.fmax_floor_mhz)
+
+    def max_switch_size(self, frequency_mhz: float) -> int:
+        """Largest port count that still meets ``frequency_mhz``.
+
+        This is ``max_sw_size`` of Algorithm 2 / pruning rule 1 (Sec. V-C).
+        Returns at least ``min_ports``; raises ValueError if even the smallest
+        switch cannot reach the requested frequency.
+        """
+        if frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+        if self.f_max(self.min_ports) < frequency_mhz:
+            raise ValueError(
+                f"no switch size supports {frequency_mhz} MHz "
+                f"(smallest switch tops out at {self.f_max(self.min_ports)} MHz)"
+            )
+        ports = self.min_ports
+        while self.f_max(ports + 1) >= frequency_mhz:
+            ports += 1
+        return ports
+
+    def static_power_mw(self, ports: int) -> float:
+        """Leakage power in mW."""
+        self._check_ports(ports)
+        return self.static_base_mw + self.static_per_port_mw * ports
+
+    def clock_power_mw(self, ports: int, frequency_mhz: float) -> float:
+        """Clock-tree and idle switching power in mW at ``frequency_mhz``."""
+        self._check_ports(ports)
+        slope = self.clock_base_mw_per_mhz + self.clock_per_port_mw_per_mhz * ports
+        return slope * frequency_mhz
+
+    def energy_per_flit_pj(self, ports: int) -> float:
+        """Energy to move one flit input->output through the crossbar (pJ)."""
+        self._check_ports(ports)
+        return self.energy_base_pj + self.energy_per_port_pj * ports
+
+    def traffic_power_mw(self, ports: int, load_mflits_per_s: float) -> float:
+        """Dynamic power for a total traversal rate of ``load`` Mflits/s."""
+        if load_mflits_per_s < 0:
+            raise ValueError(f"load must be non-negative, got {load_mflits_per_s}")
+        return mega_ops_energy_to_mw(load_mflits_per_s, self.energy_per_flit_pj(ports))
+
+    def power_mw(
+        self, ports: int, frequency_mhz: float, load_mflits_per_s: float
+    ) -> float:
+        """Total switch power (static + clock + traffic) in mW."""
+        return (
+            self.static_power_mw(ports)
+            + self.clock_power_mw(ports, frequency_mhz)
+            + self.traffic_power_mw(ports, load_mflits_per_s)
+        )
+
+    def area_mm2(self, ports: int) -> float:
+        """Silicon area of the switch in mm^2 ("few thousand gates")."""
+        self._check_ports(ports)
+        return self.area_base_mm2 + self.area_per_port_mm2 * ports
+
+    def delay_cycles(self) -> int:
+        """Pipeline depth of a switch traversal in cycles (×pipesLite: 1)."""
+        return 1
+
+    def _check_ports(self, ports: int) -> None:
+        if ports < self.min_ports:
+            raise ValueError(
+                f"switch must have at least {self.min_ports} ports, got {ports}"
+            )

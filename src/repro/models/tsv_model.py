@@ -1,0 +1,181 @@
+"""TSV vertical-link model and the TSV-count yield model of Fig. 1.
+
+Vertical links built from through-silicon vias have roughly an order of
+magnitude lower resistance and capacitance than a moderate planar link
+(paper Sec. VIII, after Loi et al. [34]: 16-18.5 ps delay for a 4 um-diameter,
+8 um-pitch TSV). Consequently an inter-layer hop is nearly free in both power
+and delay, which is the physical root of the 3-D advantage the paper reports.
+
+The yield model reproduces the qualitative behaviour of Fig. 1 (after
+Miyakawa [39]): yield is flat up to a process-dependent TSV count and decays
+rapidly beyond it. From a target yield the model derives the TSV budget, and
+from the budget and the per-link TSV count, the ``max_ill`` constraint the
+synthesis algorithm consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.units import mega_ops_energy_to_mw
+
+
+@dataclass(frozen=True)
+class TsvProcess:
+    """Yield parameters of one 3-D manufacturing process (one Fig. 1 curve).
+
+    Yield is modelled as::
+
+        yield(n) = base_yield                          for n <= knee_tsvs
+        yield(n) = base_yield * exp(-(n - knee)/decay) for n >  knee_tsvs
+    """
+
+    name: str
+    base_yield: float
+    knee_tsvs: int
+    decay_tsvs: float
+
+    def yield_at(self, tsv_count: int) -> float:
+        if tsv_count < 0:
+            raise ValueError(f"TSV count must be non-negative, got {tsv_count}")
+        if tsv_count <= self.knee_tsvs:
+            return self.base_yield
+        return self.base_yield * math.exp(
+            -(tsv_count - self.knee_tsvs) / self.decay_tsvs
+        )
+
+    def max_tsvs(self, target_yield: float) -> int:
+        """Largest TSV count whose yield still meets ``target_yield``."""
+        if not 0 < target_yield <= 1:
+            raise ValueError(f"target yield must be in (0, 1], got {target_yield}")
+        if target_yield > self.base_yield:
+            raise ValueError(
+                f"process {self.name!r} cannot reach yield {target_yield} "
+                f"(base yield {self.base_yield})"
+            )
+        if target_yield == self.base_yield:
+            return self.knee_tsvs
+        extra = -self.decay_tsvs * math.log(target_yield / self.base_yield)
+        return self.knee_tsvs + int(extra)
+
+
+#: Three representative processes, mimicking the three curves of Fig. 1
+#: (an aggressive wafer-level process, a mainstream one, and an early one).
+DEFAULT_PROCESSES: Dict[str, TsvProcess] = {
+    "wafer-level-a": TsvProcess("wafer-level-a", base_yield=0.95, knee_tsvs=1600, decay_tsvs=900.0),
+    "wafer-level-b": TsvProcess("wafer-level-b", base_yield=0.90, knee_tsvs=800, decay_tsvs=450.0),
+    "die-to-wafer": TsvProcess("die-to-wafer", base_yield=0.85, knee_tsvs=400, decay_tsvs=250.0),
+}
+
+
+def yield_for_tsv_count(process: str, tsv_count: int) -> float:
+    """Yield of ``process`` at ``tsv_count`` TSVs per adjacent layer pair."""
+    return _lookup(process).yield_at(tsv_count)
+
+
+def max_tsvs_for_yield(process: str, target_yield: float) -> int:
+    """TSV budget of ``process`` to meet ``target_yield``."""
+    return _lookup(process).max_tsvs(target_yield)
+
+
+def _lookup(process: str) -> TsvProcess:
+    try:
+        return DEFAULT_PROCESSES[process]
+    except KeyError:
+        known = ", ".join(sorted(DEFAULT_PROCESSES))
+        raise ValueError(f"unknown TSV process {process!r} (known: {known})")
+
+
+@dataclass(frozen=True)
+class TsvModel:
+    """Electrical/geometric model of TSV-based vertical links.
+
+    Attributes:
+        e_tsv_pj_per_layer: Energy per flit per layer crossing. An order of
+            magnitude below a ~1 mm planar link, per [34].
+        delay_ps_per_layer: Propagation delay per crossing (16-18.5 ps in
+            [34]; negligible against a 2.5 ns cycle at 400 MHz).
+        static_mw_per_link: Leakage of one vertical link's drivers.
+        tsv_pitch_um: TSV pitch (8 um in [34]).
+        control_tsvs: Extra TSVs per link for flow control/valid signals.
+        redundancy: Spare-TSV factor for fault tolerance (Sec. III, after
+            Loi et al. [40]): 1.0 = no spares; 1.25 = 25% extra TSVs. "Adding
+            redundant TSVs can be considered by reserving more area with the
+            TSV macros and it is transparent for our tool."
+    """
+
+    e_tsv_pj_per_layer: float = 0.4
+    delay_ps_per_layer: float = 17.0
+    static_mw_per_link: float = 0.004
+    tsv_pitch_um: float = 8.0
+    control_tsvs: int = 8
+    redundancy: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.redundancy < 1.0:
+            raise ValueError(
+                f"redundancy factor must be >= 1.0, got {self.redundancy}"
+            )
+
+    def tsvs_per_link(self, width_bits: int) -> int:
+        """TSVs needed by one vertical link of ``width_bits`` data bits.
+
+        Data wires plus flow-control wires, one TSV each, scaled up by the
+        spare-TSV redundancy factor.
+        """
+        if width_bits <= 0:
+            raise ValueError(f"width must be positive, got {width_bits}")
+        import math
+
+        return math.ceil((width_bits + self.control_tsvs) * self.redundancy)
+
+    def macro_area_mm2(self, width_bits: int) -> float:
+        """Area of the TSV macro reserving space for one link (Sec. III).
+
+        Each TSV occupies a pitch x pitch square; the macro is the bounding
+        area of the link's TSV bundle.
+        """
+        count = self.tsvs_per_link(width_bits)
+        pitch_mm = self.tsv_pitch_um / 1000.0
+        return count * pitch_mm * pitch_mm
+
+    def energy_per_flit_pj(self, layers_crossed: int) -> float:
+        """Energy for one flit to cross ``layers_crossed`` layer boundaries."""
+        if layers_crossed < 0:
+            raise ValueError(f"layers crossed must be >= 0, got {layers_crossed}")
+        return self.e_tsv_pj_per_layer * layers_crossed
+
+    def traffic_power_mw(
+        self, layers_crossed: int, load_mflits_per_s: float
+    ) -> float:
+        """Dynamic power of the vertical portion of a link."""
+        if load_mflits_per_s < 0:
+            raise ValueError(f"load must be non-negative, got {load_mflits_per_s}")
+        return mega_ops_energy_to_mw(
+            load_mflits_per_s, self.energy_per_flit_pj(layers_crossed)
+        )
+
+    def delay_cycles(self, layers_crossed: int, frequency_mhz: float) -> int:
+        """Extra cycles a vertical crossing adds (0 for realistic configs).
+
+        17 ps/layer against a multi-ns cycle only matters above ~50 layers;
+        the method still accounts for it exactly.
+        """
+        if frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+        if layers_crossed < 0:
+            raise ValueError(f"layers crossed must be >= 0, got {layers_crossed}")
+        cycle_ps = 1e6 / frequency_mhz
+        return int(layers_crossed * self.delay_ps_per_layer // cycle_ps)
+
+    def max_ill_for_budget(self, tsv_budget: int, width_bits: int) -> int:
+        """Maximum inter-layer link count supported by ``tsv_budget`` TSVs.
+
+        "For a particular link width, the maximum number of links can be
+        directly determined from the TSV constraints" (Sec. IV).
+        """
+        if tsv_budget < 0:
+            raise ValueError(f"TSV budget must be non-negative, got {tsv_budget}")
+        return tsv_budget // self.tsvs_per_link(width_bits)

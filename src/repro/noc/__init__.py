@@ -1,0 +1,24 @@
+"""NoC substrate: topology data model, deadlock checks, metrics, simulator.
+
+The synthesis core (:mod:`repro.core`) builds :class:`~repro.noc.topology.Topology`
+objects; this package owns everything downstream of that structure —
+channel-dependency-graph deadlock freedom, zero-load latency / power / area
+evaluation, wire-length statistics, and a flit-level wormhole simulator used
+to validate the analytic latency model.
+"""
+
+from repro.noc.topology import Endpoint, Link, Switch, Topology
+from repro.noc.deadlock import ChannelDependencyGraph
+from repro.noc.metrics import NocMetrics, compute_metrics
+from repro.noc.wire_stats import wire_length_histogram
+
+__all__ = [
+    "Endpoint",
+    "Link",
+    "Switch",
+    "Topology",
+    "ChannelDependencyGraph",
+    "NocMetrics",
+    "compute_metrics",
+    "wire_length_histogram",
+]

@@ -1,0 +1,97 @@
+"""Channel-dependency-graph (CDG) deadlock avoidance.
+
+The paper (Sec. VI) reuses the methods of [14]/[16] "to remove both routing
+and message-dependent deadlocks when computing the paths". This module
+implements the classic Dally-Seitz criterion: wormhole routing is
+deadlock-free iff the channel dependency graph — one vertex per physical
+link, one edge per (incoming link -> outgoing link) turn used by any route —
+is acyclic.
+
+Message-dependent deadlocks are removed by keeping a *separate* CDG per
+message class (request / response): dependencies between classes are broken
+at the network interfaces (consumption-assumption per class), so acyclicity
+per class suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+
+class ChannelDependencyGraph:
+    """Incrementally grown CDG with tentative-cycle queries."""
+
+    def __init__(self) -> None:
+        # message class -> adjacency: link id -> set of successor link ids.
+        self._succ: Dict[Hashable, Dict[int, Set[int]]] = {}
+
+    def classes(self) -> List[Hashable]:
+        return sorted(self._succ, key=str)
+
+    def edges(self, message_class: Hashable) -> List[Tuple[int, int]]:
+        adj = self._succ.get(message_class, {})
+        return sorted((u, v) for u, vs in adj.items() for v in vs)
+
+    @staticmethod
+    def _path_edges(link_ids: Sequence[int]) -> List[Tuple[int, int]]:
+        return [(a, b) for a, b in zip(link_ids, link_ids[1:])]
+
+    def add_path(self, link_ids: Sequence[int], message_class: Hashable) -> None:
+        """Record the dependencies of a route. Caller must have verified
+        acyclicity (see :meth:`creates_cycle`)."""
+        adj = self._succ.setdefault(message_class, {})
+        for u, v in self._path_edges(link_ids):
+            adj.setdefault(u, set()).add(v)
+
+    def creates_cycle(
+        self, link_ids: Sequence[int], message_class: Hashable
+    ) -> bool:
+        """Would adding this route's dependencies close a cycle?
+
+        The check is tentative: the CDG is left unchanged.
+        """
+        new_edges = self._path_edges(link_ids)
+        if not new_edges:
+            return False
+        adj = self._succ.get(message_class, {})
+        combined: Dict[int, Set[int]] = {u: set(vs) for u, vs in adj.items()}
+        for u, v in new_edges:
+            combined.setdefault(u, set()).add(v)
+        start_nodes = {u for u, _ in new_edges}
+        return _has_cycle(combined, start_nodes)
+
+    def has_cycle(self, message_class: Hashable) -> bool:
+        adj = self._succ.get(message_class, {})
+        return _has_cycle(adj, set(adj))
+
+    def is_deadlock_free(self) -> bool:
+        """True if every message class's CDG is acyclic."""
+        return not any(self.has_cycle(cls) for cls in self._succ)
+
+
+def _has_cycle(adj: Dict[int, Set[int]], start_nodes: Iterable[int]) -> bool:
+    """Iterative DFS cycle detection over the nodes reachable from starts."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+
+    for start in sorted(start_nodes):
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[int, Iterable[int]]] = [(start, iter(sorted(adj.get(start, ()))))]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False

@@ -1,0 +1,156 @@
+"""Export synthesized designs: JSON and Graphviz DOT.
+
+A downstream user of the tool needs the synthesized topology in a
+machine-readable form (to feed an RTL generator or a simulator) and in a
+drawable form (the paper's Figs. 13-15 are such drawings). This module
+serialises a :class:`~repro.core.design_point.DesignPoint` both ways; the
+JSON form round-trips enough information to rebuild the topology object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.design_point import DesignPoint
+from repro.noc.topology import Topology
+
+PathLike = Union[str, Path]
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Serialise a routed topology to plain data."""
+    return {
+        "frequency_mhz": topology.frequency_mhz,
+        "width_bits": topology.width_bits,
+        "switches": [
+            {
+                "id": sw.id, "layer": sw.layer, "x": sw.x, "y": sw.y,
+                "in_ports": sw.in_ports, "out_ports": sw.out_ports,
+                "is_indirect": sw.is_indirect,
+            }
+            for sw in topology.switches
+        ],
+        "links": [
+            {
+                "id": l.id,
+                "src": list(l.src), "dst": list(l.dst),
+                "src_layer": l.src_layer, "dst_layer": l.dst_layer,
+                "load_mbps": l.load_mbps, "length_mm": l.length_mm,
+                "flows": [list(f) for f in l.flows],
+            }
+            for l in topology.links
+        ],
+        "core_to_switch": {
+            str(core): sw for core, sw in sorted(topology.core_to_switch.items())
+        },
+        "routes": {
+            f"{src}->{dst}": link_ids
+            for (src, dst), link_ids in sorted(topology.routes.items())
+        },
+        "switch_routes": {
+            f"{src}->{dst}": sw_ids
+            for (src, dst), sw_ids in sorted(topology.switch_routes.items())
+        },
+        "flow_bandwidth": {
+            f"{src}->{dst}": bw
+            for (src, dst), bw in sorted(topology.flow_bandwidth.items())
+        },
+        "ill": {f"{a}-{b}": c for (a, b), c in sorted(topology.ill.items())},
+    }
+
+
+def design_point_to_dict(point: DesignPoint) -> dict:
+    """Serialise a full design point (topology + floorplan + metrics)."""
+    m = point.metrics
+    return {
+        "phase": point.phase,
+        "switch_count": point.switch_count,
+        "theta": point.assignment.theta,
+        "topology": topology_to_dict(point.topology),
+        "floorplan": [
+            {
+                "name": c.name, "kind": c.kind, "layer": c.layer,
+                "x": c.rect.x, "y": c.rect.y,
+                "width": c.rect.width, "height": c.rect.height,
+            }
+            for c in point.floorplan
+        ],
+        "metrics": {
+            "switch_power_mw": m.switch_power_mw,
+            "sw2sw_link_power_mw": m.sw2sw_link_power_mw,
+            "core2sw_link_power_mw": m.core2sw_link_power_mw,
+            "total_power_mw": m.total_power_mw,
+            "avg_latency_cycles": m.avg_latency_cycles,
+            "max_latency_cycles": m.max_latency_cycles,
+            "die_area_mm2": point.die_area_mm2,
+            "noc_area_mm2": m.noc_area_mm2,
+            "num_switches": m.num_switches,
+            "num_links": m.num_links,
+            "num_vertical_links": m.num_vertical_links,
+            "max_ill_used": m.max_ill_used,
+        },
+    }
+
+
+def save_design_point_json(point: DesignPoint, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(design_point_to_dict(point), indent=2))
+
+
+def topology_to_dot(
+    topology: Topology,
+    core_names: Optional[List[str]] = None,
+) -> str:
+    """Render the topology as a Graphviz DOT digraph.
+
+    Cores are boxes, switches are circles, layers become clusters; vertical
+    links are drawn bold. Paste into ``dot -Tpng`` to obtain a Fig. 13-style
+    drawing.
+    """
+    def core_label(index: int) -> str:
+        if core_names is not None and 0 <= index < len(core_names):
+            return core_names[index]
+        return f"core{index}"
+
+    lines = ["digraph topology {", "  rankdir=LR;"]
+    layers = sorted({sw.layer for sw in topology.switches})
+    for layer in layers:
+        lines.append(f"  subgraph cluster_layer{layer} {{")
+        lines.append(f'    label="layer {layer}";')
+        for sw in topology.switches:
+            if sw.layer == layer:
+                shape = "doublecircle" if sw.is_indirect else "circle"
+                lines.append(
+                    f'    sw{sw.id} [shape={shape}, label="sw{sw.id}"];'
+                )
+        for core, sw_id in sorted(topology.core_to_switch.items()):
+            # Draw the core in its switch's cluster for compactness.
+            if topology.switches[sw_id].layer == layer:
+                lines.append(
+                    f'    c{core} [shape=box, label="{core_label(core)}"];'
+                )
+        lines.append("  }")
+
+    drawn = set()
+    for link in topology.links:
+        skind, sidx = link.src
+        dkind, didx = link.dst
+        src = f"sw{sidx}" if skind == "switch" else f"c{sidx}"
+        dst = f"sw{didx}" if dkind == "switch" else f"c{didx}"
+        key = (src, dst)
+        if key in drawn:
+            continue
+        drawn.add(key)
+        style = ' [style=bold, color=red]' if link.is_vertical else ""
+        lines.append(f"  {src} -> {dst}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_topology_dot(
+    topology: Topology,
+    path: PathLike,
+    core_names: Optional[List[str]] = None,
+) -> None:
+    Path(path).write_text(topology_to_dot(topology, core_names))

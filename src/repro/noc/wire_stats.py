@@ -1,0 +1,70 @@
+"""Wire-length distribution statistics (Fig. 12 of the paper).
+
+Fig. 12 compares the distribution of link lengths of the 2-D and 3-D
+implementations of D_26_media: the 2-D design has a long tail of multi-mm
+wires that the 3-D design removes. This module computes the histogram rows
+the experiment harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WireLengthBin:
+    """One histogram bin: lengths in [lo, hi) mm."""
+
+    lo_mm: float
+    hi_mm: float
+    count: int
+
+    @property
+    def label(self) -> str:
+        return f"[{self.lo_mm:.2f}, {self.hi_mm:.2f})"
+
+
+def wire_length_histogram(
+    lengths_mm: Sequence[float],
+    bin_width_mm: float = 0.5,
+    max_mm: float = None,
+) -> List[WireLengthBin]:
+    """Histogram of wire lengths with fixed-width bins.
+
+    Args:
+        lengths_mm: Link lengths (vertical links contribute their planar
+            portion, usually ~0 — which is the point of Fig. 12).
+        bin_width_mm: Bin width.
+        max_mm: Upper edge of the last bin (default: covers the max length).
+
+    Returns:
+        Bins from 0 to ``max_mm``; every length is counted in exactly one
+        bin (the final bin is closed on the right).
+    """
+    if bin_width_mm <= 0:
+        raise ValueError(f"bin width must be positive, got {bin_width_mm}")
+    if any(l < 0 for l in lengths_mm):
+        raise ValueError("wire lengths must be non-negative")
+
+    if max_mm is None:
+        max_mm = max(lengths_mm, default=0.0)
+    n_bins = max(1, int(-(-max_mm // bin_width_mm))) if max_mm > 0 else 1
+
+    counts = [0] * n_bins
+    for length in lengths_mm:
+        idx = min(int(length // bin_width_mm), n_bins - 1)
+        counts[idx] += 1
+
+    return [
+        WireLengthBin(lo_mm=i * bin_width_mm, hi_mm=(i + 1) * bin_width_mm, count=c)
+        for i, c in enumerate(counts)
+    ]
+
+
+def length_stats(lengths_mm: Sequence[float]) -> Tuple[float, float, float]:
+    """(mean, max, total) of the wire lengths; zeros for an empty input."""
+    if not lengths_mm:
+        return (0.0, 0.0, 0.0)
+    total = sum(lengths_mm)
+    return (total / len(lengths_mm), max(lengths_mm), total)

@@ -1,0 +1,134 @@
+"""Markdown report generation for synthesis results.
+
+A real release of the tool ships a human-readable design report: this module
+renders a :class:`~repro.core.design_point.SynthesisResult` (or a single
+:class:`~repro.core.design_point.DesignPoint`) into Markdown — trade-off
+table, chosen-point deep dive (per-switch composition, vertical links, power
+breakdown, per-flow latency slack), and the ASCII floorplan.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.design_point import DesignPoint, SynthesisResult
+from repro.floorplan.ascii_art import render_floorplan
+from repro.graphs.comm_graph import CommGraph
+
+PathLike = Union[str, Path]
+
+
+def render_result_markdown(
+    result: SynthesisResult,
+    graph: Optional[CommGraph] = None,
+    title: str = "SunFloor 3D synthesis report",
+) -> str:
+    """Full report: trade-off table plus a deep dive on the best point."""
+    lines: List[str] = [f"# {title}", ""]
+    if result.is_empty:
+        lines.append("**No valid design points.**")
+        if result.unmet_switch_counts:
+            lines.append(
+                f"Unmet switch counts: {result.unmet_switch_counts}."
+            )
+        return "\n".join(lines)
+
+    lines.append("## Trade-off points")
+    lines.append("")
+    lines.append(
+        "| switches | phase | θ | power (mW) | latency (cyc) | "
+        "die area (mm²) | vertical links | max ill |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for p in sorted(result.points, key=lambda p: (p.switch_count, p.total_power_mw)):
+        theta = f"{p.assignment.theta:g}" if p.assignment.theta else "-"
+        lines.append(
+            f"| {p.switch_count} | {p.phase} | {theta} "
+            f"| {p.total_power_mw:.1f} | {p.avg_latency_cycles:.2f} "
+            f"| {p.die_area_mm2:.2f} | {p.metrics.num_vertical_links} "
+            f"| {p.metrics.max_ill_used} |"
+        )
+    if result.unmet_switch_counts:
+        lines.append("")
+        lines.append(
+            f"Unmet switch counts: {result.unmet_switch_counts}."
+        )
+
+    best = result.best_power()
+    lines.append("")
+    lines.append("## Chosen design point (best power)")
+    lines.append("")
+    lines.extend(render_point_markdown(best, graph).splitlines()[2:])
+    return "\n".join(lines)
+
+
+def render_point_markdown(
+    point: DesignPoint,
+    graph: Optional[CommGraph] = None,
+) -> str:
+    """Deep dive on a single design point."""
+    m = point.metrics
+    lines: List[str] = [
+        f"# Design point: {point.phase}, {point.switch_count} switches", "",
+        f"- **Power**: {m.total_power_mw:.1f} mW "
+        f"(switches {m.switch_power_mw:.1f}, "
+        f"switch-to-switch links {m.sw2sw_link_power_mw:.1f}, "
+        f"core-to-switch links {m.core2sw_link_power_mw:.1f})",
+        f"- **Latency**: avg {m.avg_latency_cycles:.2f} / "
+        f"max {m.max_latency_cycles:.2f} cycles (zero load)",
+        f"- **Die area**: {point.die_area_mm2:.2f} mm² "
+        f"(NoC components {m.noc_area_mm2:.3f} mm²)",
+        f"- **Vertical links**: {m.num_vertical_links} "
+        f"(max per boundary {m.max_ill_used}, "
+        f"TSV macro area {m.tsv_macro_area_mm2:.4f} mm²)",
+        "",
+        "## Switches",
+        "",
+        "| switch | layer | in | out | position (mm) | cores |",
+        "|---|---|---|---|---|---|",
+    ]
+    names = graph.names if graph is not None else None
+    core_lists: dict = {sw.id: [] for sw in point.topology.switches}
+    for core, sw in sorted(point.topology.core_to_switch.items()):
+        label = names[core] if names else f"core{core}"
+        core_lists[sw].append(label)
+    for sw in point.topology.switches:
+        cores = ", ".join(core_lists[sw.id]) or "*(indirect)*"
+        lines.append(
+            f"| sw{sw.id} | {sw.layer} | {sw.in_ports} | {sw.out_ports} "
+            f"| ({sw.x:.2f}, {sw.y:.2f}) | {cores} |"
+        )
+
+    if graph is not None:
+        lines.append("")
+        lines.append("## Latency slack per flow")
+        lines.append("")
+        lines.append("| flow | constraint (cyc) | achieved (cyc) | slack |")
+        lines.append("|---|---|---|---|")
+        for (src, dst), flow in sorted(graph.edges.items()):
+            achieved = m.per_flow_latency.get((src, dst))
+            if achieved is None:
+                continue
+            slack = flow.latency - achieved
+            lines.append(
+                f"| {graph.names[src]} → {graph.names[dst]} "
+                f"| {flow.latency:g} | {achieved:.2f} | {slack:.2f} |"
+            )
+
+    lines.append("")
+    lines.append("## Floorplan")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_floorplan(point.floorplan))
+    lines.append("```")
+    return "\n".join(lines)
+
+
+def save_report(
+    result: SynthesisResult,
+    path: PathLike,
+    graph: Optional[CommGraph] = None,
+    title: str = "SunFloor 3D synthesis report",
+) -> None:
+    Path(path).write_text(render_result_markdown(result, graph, title))

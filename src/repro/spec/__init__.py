@@ -1,0 +1,44 @@
+"""Input specifications for SunFloor 3D.
+
+The design flow (paper Sec. IV) takes two inputs:
+
+* the **core specification** — core names, sizes, x/y positions and the 3-D
+  layer each core is assigned to (:class:`~repro.spec.core_spec.CoreSpec`);
+* the **communication specification** — the bandwidth, latency constraint
+  and message type of every traffic flow
+  (:class:`~repro.spec.comm_spec.CommSpec`).
+
+Both can be read from / written to JSON and a simple line-oriented text
+format (:mod:`repro.spec.io`).
+"""
+
+from repro.spec.core_spec import Core, CoreSpec
+from repro.spec.comm_spec import CommSpec, MessageType, TrafficFlow
+from repro.spec.io import (
+    load_comm_spec_json,
+    load_core_spec_json,
+    load_comm_spec_text,
+    load_core_spec_text,
+    save_comm_spec_json,
+    save_core_spec_json,
+    save_comm_spec_text,
+    save_core_spec_text,
+)
+from repro.spec.validate import validate_specs
+
+__all__ = [
+    "Core",
+    "CoreSpec",
+    "CommSpec",
+    "MessageType",
+    "TrafficFlow",
+    "load_comm_spec_json",
+    "load_core_spec_json",
+    "load_comm_spec_text",
+    "load_core_spec_text",
+    "save_comm_spec_json",
+    "save_core_spec_json",
+    "save_comm_spec_text",
+    "save_core_spec_text",
+    "validate_specs",
+]

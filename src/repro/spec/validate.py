@@ -1,0 +1,81 @@
+"""Cross-validation of core and communication specifications.
+
+A (CoreSpec, CommSpec) pair is the unit of input to the synthesis flow;
+:func:`validate_specs` checks the pair for the consistency conditions every
+later stage relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SpecError
+from repro.spec.comm_spec import CommSpec
+from repro.spec.core_spec import CoreSpec
+
+
+def validate_specs(core_spec: CoreSpec, comm_spec: CommSpec) -> None:
+    """Raise :class:`SpecError` if the pair of specs is inconsistent.
+
+    Checks:
+      * the specs are non-empty,
+      * every flow endpoint names a core in the core spec,
+      * layer indices are contiguous starting at 0 (no empty layers, which
+        would make layer-adjacency constraints meaningless),
+      * cores within a layer do not overlap (positions are a legal floorplan).
+    """
+    if len(core_spec) == 0:
+        raise SpecError("core specification is empty")
+    if len(comm_spec) == 0:
+        raise SpecError("communication specification is empty")
+
+    names = set(core_spec.names)
+    for flow in comm_spec:
+        if flow.src not in names:
+            raise SpecError(f"flow source {flow.src!r} is not a declared core")
+        if flow.dst not in names:
+            raise SpecError(f"flow destination {flow.dst!r} is not a declared core")
+
+    layers = sorted({c.layer for c in core_spec})
+    expected = list(range(len(layers)))
+    if layers != expected:
+        raise SpecError(
+            f"layer indices must be contiguous from 0; populated layers: {layers}"
+        )
+
+    for layer in layers:
+        cores = core_spec.cores_in_layer(layer)
+        overlaps = _find_overlaps(cores)
+        if overlaps:
+            a, b = overlaps[0]
+            raise SpecError(
+                f"cores {a!r} and {b!r} overlap in layer {layer}; "
+                "input positions must form a legal floorplan"
+            )
+
+
+def _find_overlaps(cores) -> List[tuple]:
+    """All pairs of cores whose rectangles strictly overlap."""
+    bad = []
+    for i in range(len(cores)):
+        for j in range(i + 1, len(cores)):
+            a, b = cores[i], cores[j]
+            if _rects_overlap(
+                a.x, a.y, a.width, a.height, b.x, b.y, b.width, b.height
+            ):
+                bad.append((a.name, b.name))
+    return bad
+
+
+def _rects_overlap(
+    ax: float, ay: float, aw: float, ah: float,
+    bx: float, by: float, bw: float, bh: float,
+    eps: float = 1e-9,
+) -> bool:
+    """Strict overlap test with a small tolerance for shared edges."""
+    return (
+        ax + aw > bx + eps
+        and bx + bw > ax + eps
+        and ay + ah > by + eps
+        and by + bh > ay + eps
+    )

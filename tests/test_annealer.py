@@ -1,0 +1,81 @@
+"""Simulated-annealing floorplanner (repro.floorplan.annealer)."""
+
+import pytest
+
+from repro.floorplan.annealer import anneal_floorplan
+from repro.floorplan.geometry import Rect, rects_overlap
+from repro.floorplan.sequence_pair import SequencePair
+
+
+def _legal(result, widths, heights):
+    rects = [
+        Rect(x, y, w, h)
+        for (x, y), w, h in zip(result.positions, widths, heights)
+    ]
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects_overlap(rects[i], rects[j]):
+                return False
+    return True
+
+
+class TestAnnealFloorplan:
+    def test_single_block(self):
+        result = anneal_floorplan([2.0], [3.0])
+        assert result.positions == [(0.0, 0.0)]
+        assert result.area == pytest.approx(6.0)
+
+    def test_legal_placement(self):
+        widths = [1.0, 2.0, 1.5, 1.0, 0.8]
+        heights = [1.5, 1.0, 1.2, 0.9, 1.1]
+        result = anneal_floorplan(widths, heights, moves=800, seed=3)
+        assert _legal(result, widths, heights)
+
+    def test_area_not_absurd(self):
+        # Packing 9 unit squares should land well under 3x the ideal area.
+        widths = heights = [1.0] * 9
+        result = anneal_floorplan(widths, heights, moves=1500, seed=1)
+        assert result.area <= 27.0
+
+    def test_deterministic(self):
+        widths = [1.0, 2.0, 1.0, 1.5]
+        heights = [1.0, 1.0, 2.0, 1.5]
+        a = anneal_floorplan(widths, heights, moves=400, seed=7)
+        b = anneal_floorplan(widths, heights, moves=400, seed=7)
+        assert a.positions == b.positions
+        assert a.cost == b.cost
+
+    def test_wirelength_pulls_connected_blocks_together(self):
+        # 6 blocks; blocks 0 and 5 heavily connected: they should end up
+        # closer than the far corners of the packing.
+        widths = heights = [1.0] * 6
+        nets = {(0, 5): 100.0}
+        result = anneal_floorplan(
+            widths, heights, nets, wirelength_weight=4.0, moves=2500, seed=2
+        )
+        (x0, y0), (x5, y5) = result.positions[0], result.positions[5]
+        dist = abs(x0 - x5) + abs(y0 - y5)
+        assert dist <= 2.5  # adjacent-ish, not across the floorplan
+
+    def test_anchor_pulls_block_to_point(self):
+        widths = heights = [1.0] * 4
+        anchors = {(2, (0.0, 0.0)): 50.0}
+        result = anneal_floorplan(
+            widths, heights, anchors=anchors, wirelength_weight=4.0,
+            moves=2000, seed=4,
+        )
+        x, y = result.positions[2]
+        assert x + y <= 2.5  # block 2 hugs the origin corner
+
+    def test_initial_sp_respected(self):
+        sp = SequencePair.identity(3)
+        result = anneal_floorplan([1.0] * 3, [1.0] * 3, moves=0, initial_sp=sp)
+        assert result.sequence_pair == sp
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            anneal_floorplan([], [])
+        with pytest.raises(ValueError):
+            anneal_floorplan([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            anneal_floorplan([1.0], [1.0], initial_sp=SequencePair.identity(2))

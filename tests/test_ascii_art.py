@@ -1,0 +1,60 @@
+"""ASCII floorplan rendering (repro.floorplan.ascii_art)."""
+
+from repro.floorplan.ascii_art import render_floorplan, render_layer
+from repro.floorplan.geometry import Rect
+from repro.floorplan.placement import ChipFloorplan, PlacedComponent
+
+
+def _fp():
+    fp = ChipFloorplan()
+    fp.add(PlacedComponent("ARM", "core", Rect(0, 0, 2, 2), 0))
+    fp.add(PlacedComponent("MEM", "core", Rect(2.5, 0, 2, 2), 0))
+    fp.add(PlacedComponent("sw0", "switch", Rect(2.1, 0.5, 0.3, 0.3), 0))
+    fp.add(PlacedComponent("DSP", "core", Rect(0, 0, 2, 1.5), 1))
+    fp.add(PlacedComponent("tsv:l0:L1", "tsv", Rect(2.2, 0.2, 0.1, 0.1), 1))
+    return fp
+
+
+class TestRenderLayer:
+    def test_contains_dimensions(self):
+        text = render_layer(_fp(), 0)
+        assert "layer 0" in text
+        assert "4.50 x 2.00 mm" in text
+
+    def test_switch_and_core_glyphs(self):
+        text = render_layer(_fp(), 0)
+        assert "#" in text   # switch
+        assert "A" in text   # ARM fill
+        assert "M" in text   # MEM fill
+
+    def test_tsv_glyph(self):
+        text = render_layer(_fp(), 1)
+        assert "+" in text
+
+    def test_empty_layer(self):
+        assert "empty" in render_layer(_fp(), 5)
+
+    def test_grid_width_respected(self):
+        text = render_layer(_fp(), 0, width_chars=40)
+        rows = text.splitlines()[1:]
+        assert all(len(r) <= 40 for r in rows)
+
+
+class TestRenderFloorplan:
+    def test_all_layers_and_legend(self):
+        text = render_floorplan(_fp())
+        assert "layer 0" in text and "layer 1" in text
+        assert "legend:" in text
+
+    def test_renders_synthesized_design(self, tiny_specs):
+        from repro.core.config import SynthesisConfig
+        from repro.core.synthesis import synthesize
+
+        core_spec, comm_spec = tiny_specs
+        result = synthesize(
+            core_spec, comm_spec,
+            config=SynthesisConfig(max_ill=10, switch_count_range=(2, 2)),
+        )
+        text = render_floorplan(result.best_power().floorplan)
+        assert "layer 0" in text and "layer 1" in text
+        assert "#" in text

@@ -1,0 +1,102 @@
+"""Core-to-switch assignments (repro.core.assignment)."""
+
+import pytest
+
+from repro.core.assignment import (
+    Assignment,
+    assignment_from_blocks,
+    core_link_ill_usage,
+    switch_layer_for_block,
+    violates_ill_precheck,
+)
+from repro.errors import SynthesisError
+from repro.graphs.comm_graph import build_comm_graph
+from repro.spec.comm_spec import CommSpec, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+
+
+def _graph(layers=(0, 0, 1, 1, 2, 2)):
+    cores = CoreSpec(cores=[
+        Core(f"C{i}", 1, 1, 1.5 * i, 0, layer) for i, layer in enumerate(layers)
+    ])
+    comm = CommSpec(flows=[TrafficFlow("C0", "C5", 100, 8)])
+    return build_comm_graph(cores, comm)
+
+
+class TestAssignment:
+    def test_duplicate_core_rejected(self):
+        with pytest.raises(SynthesisError):
+            Assignment(blocks=((0, 1), (1, 2)), switch_layers=(0, 0), phase="phase1")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SynthesisError):
+            Assignment(blocks=((0,),), switch_layers=(0, 1), phase="phase1")
+
+    def test_core_to_switch(self):
+        a = Assignment(blocks=((0, 2), (1,)), switch_layers=(0, 0), phase="phase1")
+        assert a.core_to_switch == {0: 0, 2: 0, 1: 1}
+        assert a.num_switches == 2
+
+    def test_describe(self):
+        a = Assignment(blocks=((0,),), switch_layers=(0,), phase="phase1", theta=7.0)
+        assert "theta=7" in a.describe()
+
+
+class TestSwitchLayer:
+    def test_mean_mode(self):
+        layers = [0, 0, 1, 1, 2, 2]
+        assert switch_layer_for_block([0, 1], layers, "mean") == 0
+        assert switch_layer_for_block([0, 4], layers, "mean") == 1
+        assert switch_layer_for_block([0, 1, 5], layers, "mean") == 1  # 2/3 -> 1
+
+    def test_majority_mode(self):
+        layers = [0, 0, 1, 1, 2, 2]
+        assert switch_layer_for_block([0, 1, 4], layers, "majority") == 0
+        assert switch_layer_for_block([2, 3, 0], layers, "majority") == 1
+
+    def test_majority_tie_lowest(self):
+        layers = [0, 0, 1, 1, 2, 2]
+        assert switch_layer_for_block([0, 2], layers, "majority") == 0
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(SynthesisError):
+            switch_layer_for_block([], [0], "mean")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SynthesisError):
+            switch_layer_for_block([0], [0], "median")
+
+
+class TestIllPrecheck:
+    def test_same_layer_no_usage(self):
+        g = _graph()
+        a = assignment_from_blocks([[0, 1], [2, 3], [4, 5]], g, "mean", "phase1")
+        assert core_link_ill_usage(a, g) == {}
+        assert not violates_ill_precheck(a, g, max_ill=0)
+
+    def test_cross_layer_counts_two_per_core(self):
+        g = _graph()
+        # Block mixing L0 and L2 cores: switch lands on L1 (mean).
+        a = assignment_from_blocks([[0, 4], [1, 2, 3, 5]], g, "mean", "phase1")
+        usage = core_link_ill_usage(a, g)
+        # Core 0 (L0) to switch (L1): 2 links cross (0,1). Core 4 (L2): 2
+        # links cross (1,2). Plus block 2's cores relative to its layer.
+        assert usage[(0, 1)] >= 2
+        assert usage[(1, 2)] >= 2
+
+    def test_violation_detected(self):
+        g = _graph()
+        a = assignment_from_blocks([[0, 4], [1, 2, 3, 5]], g, "mean", "phase1")
+        assert violates_ill_precheck(a, g, max_ill=1)
+        assert not violates_ill_precheck(a, g, max_ill=100)
+
+    def test_multi_layer_span_counts_every_boundary(self):
+        g = _graph((0, 2, 0, 2, 0, 2))
+        # A single core on L0 attached to a switch forced to L2.
+        a = Assignment(
+            blocks=((0,), (1, 2, 3, 4, 5)),
+            switch_layers=(2, 1),
+            phase="phase1",
+        )
+        usage = core_link_ill_usage(a, g)
+        assert usage[(0, 1)] >= 2 and usage[(1, 2)] >= 2

@@ -1,0 +1,90 @@
+"""Benchmark floorplan generation (repro.bench.floorplans)."""
+
+import pytest
+
+from repro.bench.floorplans import floorplan_2d, floorplan_3d
+from repro.graphs.comm_graph import build_comm_graph
+from repro.spec.comm_spec import CommSpec, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+from repro.spec.validate import validate_specs
+
+
+def _specs():
+    cores = CoreSpec(cores=[
+        Core("P0", 1.2, 1.0, 0, 0, 0),
+        Core("P1", 1.0, 1.1, 0, 0, 0),
+        Core("M0", 1.6, 1.4, 0, 0, 1),
+        Core("M1", 1.5, 1.3, 0, 0, 1),
+        Core("A0", 0.8, 0.8, 0, 0, 0),
+        Core("A1", 0.9, 0.7, 0, 0, 1),
+    ])
+    comm = CommSpec(flows=[
+        TrafficFlow("P0", "M0", 800, 10),   # vertical partners
+        TrafficFlow("P1", "M1", 700, 10),
+        TrafficFlow("P0", "A0", 150, 10),   # intra-layer
+        TrafficFlow("M0", "A1", 120, 10),
+    ])
+    return cores, comm
+
+
+class TestFloorplan2d:
+    def test_produces_legal_single_layer(self):
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        flat = floorplan_2d(cores, graph, moves=600)
+        assert flat.num_layers == 1
+        validate_specs(flat, comm)
+
+    def test_deterministic(self):
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        a = floorplan_2d(cores, graph, seed=1, moves=400)
+        b = floorplan_2d(cores, graph, seed=1, moves=400)
+        assert [(c.x, c.y) for c in a] == [(c.x, c.y) for c in b]
+
+    def test_reasonable_packing(self):
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        flat = floorplan_2d(cores, graph, moves=1500)
+        total = sum(c.area for c in flat)
+        w = max(c.x + c.width for c in flat)
+        h = max(c.y + c.height for c in flat)
+        assert w * h <= 2.5 * total  # at least 40% utilisation
+
+
+class TestFloorplan3d:
+    def test_layers_preserved_and_legal(self):
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        placed = floorplan_3d(cores, graph, moves=600)
+        assert placed.num_layers == 2
+        validate_specs(placed, comm)
+        assert [c.layer for c in placed] == [c.layer for c in cores]
+
+    def test_anchors_align_vertical_partners(self):
+        """Cores communicating across layers end up roughly stacked."""
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        placed = floorplan_3d(cores, graph, moves=2500, anchor_weight=3.0)
+        p0 = placed.by_name("P0").center
+        m0 = placed.by_name("M0").center
+        dist = abs(p0[0] - m0[0]) + abs(p0[1] - m0[1])
+        # Within a couple of core pitches, not across the die.
+        assert dist < 3.0
+
+    def test_deterministic(self):
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        a = floorplan_3d(cores, graph, seed=4, moves=400)
+        b = floorplan_3d(cores, graph, seed=4, moves=400)
+        assert [(c.x, c.y) for c in a] == [(c.x, c.y) for c in b]
+
+    def test_layer_seeds_decorrelated(self):
+        """Different layers use different annealing streams: their packings
+        are not forced into identical shapes."""
+        cores, comm = _specs()
+        graph = build_comm_graph(cores, comm)
+        placed = floorplan_3d(cores, graph, seed=0, moves=400)
+        layer0 = [(c.x, c.y) for c in placed.cores_in_layer(0)]
+        layer1 = [(c.x, c.y) for c in placed.cores_in_layer(1)]
+        assert len(layer0) == len(layer1) == 3

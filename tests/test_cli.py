@@ -1,0 +1,68 @@
+"""Command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.spec.io import save_comm_spec_text, save_core_spec_text
+
+
+class TestBenchmarksCommand:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "d26_media" in out and "d36_4" in out
+
+
+class TestSynthCommand:
+    def test_synth_from_files(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "synth", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--max-ill", "10", "--switches", "2:3", "--all-points",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best design point" in out
+        assert "sw0" in out
+
+    def test_synth_benchmark(self, capsys):
+        rc = main([
+            "synth", "--benchmark", "d26_media", "--switches", "3:4",
+        ])
+        assert rc == 0
+        assert "best design point" in capsys.readouterr().out
+
+    def test_missing_comm_errors(self, tmp_path, capsys, tiny_specs):
+        core_spec, _ = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        save_core_spec_text(core_spec, cores_path)
+        rc = main(["synth", "--cores", str(cores_path)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_infeasible_returns_one(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "synth", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--max-ill", "0", "--switches", "1:2",
+        ])
+        assert rc == 1
+
+
+class TestExperimentCommand:
+    def test_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "yield" in out.lower()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Synthesis configuration validation (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.errors import SpecError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SynthesisConfig()
+        assert cfg.frequency_mhz == 400.0
+        assert cfg.max_ill == 25
+
+    @pytest.mark.parametrize("kwargs", [
+        {"frequency_mhz": 0.0},
+        {"link_width_bits": 0},
+        {"alpha": 1.5},
+        {"alpha": -0.1},
+        {"objective": "area"},
+        {"max_ill": -1},
+        {"phase": "phase3"},
+        {"switch_layer_mode": "median"},
+        {"theta_min": 0.0},
+        {"theta_step": 0.0},
+        {"theta_min": 10.0, "theta_max": 5.0},
+        {"utilisation_cap": 0.0},
+        {"utilisation_cap": 1.5},
+        {"switch_count_range": (0, 5)},
+        {"switch_count_range": (5, 3)},
+        {"floorplanner": "parquet"},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            SynthesisConfig(**kwargs)
+
+
+class TestHelpers:
+    def test_with_creates_modified_copy(self):
+        cfg = SynthesisConfig()
+        other = cfg.with_(max_ill=10)
+        assert other.max_ill == 10
+        assert cfg.max_ill == 25
+
+    def test_theta_values_sweep(self):
+        cfg = SynthesisConfig(theta_min=1.0, theta_max=15.0, theta_step=3.0)
+        assert list(cfg.theta_values()) == [1.0, 4.0, 7.0, 10.0, 13.0]
+
+    def test_theta_values_inclusive_endpoint(self):
+        cfg = SynthesisConfig(theta_min=1.0, theta_max=7.0, theta_step=3.0)
+        assert list(cfg.theta_values()) == [1.0, 4.0, 7.0]
+
+    def test_hashable_for_caching(self):
+        a = SynthesisConfig(switch_count_range=(3, 12))
+        b = SynthesisConfig(switch_count_range=(3, 12))
+        assert hash(a) == hash(b)
+        assert a == b

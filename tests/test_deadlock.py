@@ -1,0 +1,86 @@
+"""Channel-dependency-graph deadlock checks (repro.noc.deadlock)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.deadlock import ChannelDependencyGraph
+from repro.spec.comm_spec import MessageType
+
+
+class TestCycleDetection:
+    def test_empty_graph_free(self):
+        cdg = ChannelDependencyGraph()
+        assert cdg.is_deadlock_free()
+
+    def test_single_path_no_cycle(self):
+        cdg = ChannelDependencyGraph()
+        assert not cdg.creates_cycle([1, 2, 3], MessageType.REQUEST)
+        cdg.add_path([1, 2, 3], MessageType.REQUEST)
+        assert cdg.is_deadlock_free()
+
+    def test_closing_cycle_detected(self):
+        cdg = ChannelDependencyGraph()
+        cdg.add_path([1, 2], MessageType.REQUEST)
+        cdg.add_path([2, 3], MessageType.REQUEST)
+        assert cdg.creates_cycle([3, 1], MessageType.REQUEST)
+
+    def test_tentative_check_does_not_mutate(self):
+        cdg = ChannelDependencyGraph()
+        cdg.add_path([1, 2], MessageType.REQUEST)
+        cdg.add_path([2, 3], MessageType.REQUEST)
+        assert cdg.creates_cycle([3, 1], MessageType.REQUEST)
+        # The offending path was NOT added: still acyclic.
+        assert cdg.is_deadlock_free()
+        assert cdg.edges(MessageType.REQUEST) == [(1, 2), (2, 3)]
+
+    def test_self_dependency_is_cycle(self):
+        cdg = ChannelDependencyGraph()
+        assert cdg.creates_cycle([4, 4], MessageType.REQUEST)
+
+    def test_message_classes_independent(self):
+        """Message-dependent deadlock removal: request and response
+        dependencies live in separate CDGs."""
+        cdg = ChannelDependencyGraph()
+        cdg.add_path([1, 2], MessageType.REQUEST)
+        cdg.add_path([2, 3], MessageType.REQUEST)
+        # The same physical cycle through the RESPONSE class is fine.
+        assert not cdg.creates_cycle([3, 1], MessageType.RESPONSE)
+        cdg.add_path([3, 1], MessageType.RESPONSE)
+        assert cdg.is_deadlock_free()
+
+    def test_long_cycle_detected(self):
+        cdg = ChannelDependencyGraph()
+        for a, b in [(1, 2), (2, 3), (3, 4), (4, 5)]:
+            cdg.add_path([a, b], MessageType.REQUEST)
+        assert cdg.creates_cycle([5, 1], MessageType.REQUEST)
+        assert not cdg.creates_cycle([1, 5], MessageType.REQUEST)
+
+    def test_single_link_path_no_edges(self):
+        cdg = ChannelDependencyGraph()
+        assert not cdg.creates_cycle([7], MessageType.REQUEST)
+        cdg.add_path([7], MessageType.REQUEST)
+        assert cdg.edges(MessageType.REQUEST) == []
+
+    def test_classes_listing(self):
+        cdg = ChannelDependencyGraph()
+        cdg.add_path([1, 2], MessageType.REQUEST)
+        cdg.add_path([1, 2], MessageType.RESPONSE)
+        assert len(cdg.classes()) == 2
+
+
+class TestCycleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_acyclic_insertion_order_invariant(self, data):
+        """Paths accepted one by one (skipping cycle-closers) always leave
+        the CDG acyclic — the core safety invariant of route computation."""
+        n_paths = data.draw(st.integers(min_value=1, max_value=15))
+        cdg = ChannelDependencyGraph()
+        for _ in range(n_paths):
+            length = data.draw(st.integers(min_value=1, max_value=5))
+            path = [
+                data.draw(st.integers(min_value=0, max_value=9))
+                for _ in range(length)
+            ]
+            if not cdg.creates_cycle(path, MessageType.REQUEST):
+                cdg.add_path(path, MessageType.REQUEST)
+            assert cdg.is_deadlock_free()

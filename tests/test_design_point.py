@@ -1,0 +1,75 @@
+"""Design points and results (repro.core.design_point)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.design_point import SynthesisResult
+from repro.core.synthesis import synthesize
+from repro.errors import SynthesisError
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from tests.conftest import grid_core_spec
+    from repro.spec.comm_spec import CommSpec, TrafficFlow
+
+    core_spec = grid_core_spec(6, 2)
+    comm_spec = CommSpec(flows=[
+        TrafficFlow("C0", "C1", 200, 8),
+        TrafficFlow("C1", "C2", 150, 8),
+        TrafficFlow("C2", "C3", 400, 8),
+        TrafficFlow("C3", "C4", 100, 8),
+        TrafficFlow("C4", "C5", 300, 8),
+    ])
+    return synthesize(core_spec, comm_spec, config=SynthesisConfig(max_ill=10))
+
+
+class TestSynthesisResult:
+    def test_best_power_is_minimum(self, result):
+        best = result.best_power()
+        assert all(best.total_power_mw <= p.total_power_mw for p in result.points)
+
+    def test_best_latency_is_minimum(self, result):
+        best = result.best_latency()
+        assert all(
+            best.avg_latency_cycles <= p.avg_latency_cycles for p in result.points
+        )
+
+    def test_best_unknown_objective(self, result):
+        with pytest.raises(SynthesisError):
+            result.best("area")
+
+    def test_by_switch_count(self, result):
+        some = result.points[0]
+        points = result.by_switch_count(some.switch_count)
+        assert some in points
+
+    def test_empty_result_raises(self):
+        with pytest.raises(SynthesisError):
+            SynthesisResult().best_power()
+        with pytest.raises(SynthesisError):
+            SynthesisResult().best_latency()
+
+    def test_pareto_front_contains_both_optima(self, result):
+        front = result.pareto_front()
+        assert result.best_power() in front
+        assert result.best_latency() in front
+
+    def test_pareto_front_no_dominated_points(self, result):
+        front = result.pareto_front()
+        for p in front:
+            for q in result.points:
+                dominates = (
+                    q.total_power_mw < p.total_power_mw
+                    and q.avg_latency_cycles <= p.avg_latency_cycles
+                    and q.die_area_mm2 <= p.die_area_mm2
+                )
+                assert not dominates
+
+    def test_summary_mentions_key_metrics(self, result):
+        text = result.best_power().summary()
+        assert "power" in text and "latency" in text and "mm^2" in text
+
+    def test_objective_value(self, result):
+        p = result.points[0]
+        assert p.objective_value() == p.total_power_mw

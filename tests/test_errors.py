@@ -1,0 +1,36 @@
+"""Exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    FloorplanError,
+    InfeasibleLPError,
+    LPError,
+    PathComputationError,
+    ReproError,
+    SpecError,
+    SynthesisError,
+    UnboundedLPError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SpecError, SynthesisError, PathComputationError,
+        LPError, InfeasibleLPError, UnboundedLPError, FloorplanError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_path_error_is_synthesis_error(self):
+        # Callers catching SynthesisError also catch routing failures.
+        assert issubclass(PathComputationError, SynthesisError)
+
+    def test_lp_specialisations(self):
+        assert issubclass(InfeasibleLPError, LPError)
+        assert issubclass(UnboundedLPError, LPError)
+        assert not issubclass(InfeasibleLPError, UnboundedLPError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise PathComputationError("no path")

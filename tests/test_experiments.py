@@ -1,0 +1,152 @@
+"""Experiment runners (repro.experiments).
+
+These run the real experiment code paths on reduced configurations (narrow
+switch-count sweeps, the cached d26_media benchmark) so the whole file stays
+fast while still exercising every runner end to end.
+"""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.experiments import fig01_yield
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config_for,
+    synthesize_cached,
+)
+from repro.experiments.floorplan_comparison import (
+    run_area_vs_switches,
+    run_best_point_comparison,
+)
+from repro.experiments.max_ill_sweep import run_max_ill_sweep
+from repro.experiments.mesh_comparison import run_mesh_comparison
+from repro.experiments.phase_comparison import run_phase_comparison
+from repro.experiments.power_curves import run_2d_vs_3d_best, run_power_vs_switches
+from repro.experiments.table1_2d_vs_3d import run_table1
+from repro.experiments.topology_report import (
+    run_floorplan_report,
+    run_topology_report,
+)
+from repro.experiments.wirelength import run_wirelength_distribution
+
+SMALL = SynthesisConfig(max_ill=25, switch_count_range=(3, 6))
+
+
+class TestExperimentResult:
+    def test_table_rendering(self):
+        t = ExperimentResult(name="t", columns=["a", "b"], notes="note")
+        t.add(a=1, b=2.5)
+        t.add(a=None, b="x")
+        text = t.to_text()
+        assert "== t ==" in text and "note" in text
+        assert "2.50" in text and "-" in text
+
+    def test_column_accessor(self):
+        t = ExperimentResult(name="t", columns=["a"])
+        t.add(a=1)
+        t.add(a=2)
+        assert t.column("a") == [1, 2]
+
+
+class TestCommon:
+    def test_default_config_scales_with_size(self):
+        small = default_config_for("d26_media")
+        large = default_config_for("d65_pipe")
+        assert large.switch_count_range[1] > small.switch_count_range[1]
+
+    def test_cache_returns_same_object(self):
+        a = synthesize_cached("d26_media", "3d", SMALL)
+        b = synthesize_cached("d26_media", "3d", SMALL)
+        assert a is b
+
+    def test_bad_dims_rejected(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            synthesize_cached("d26_media", "4d", SMALL)
+
+
+class TestYieldExperiment:
+    def test_curves_monotone(self):
+        table = fig01_yield.run_yield_curves()
+        for process in ("wafer-level-a", "wafer-level-b", "die-to-wafer"):
+            ys = table.column(process)
+            assert all(a >= b - 1e-12 for a, b in zip(ys, ys[1:]))
+
+    def test_budget_table(self):
+        table = fig01_yield.run_budget_table()
+        budgets = dict(zip(table.column("process"), table.column("max_ill")))
+        assert budgets["wafer-level-a"] > budgets["die-to-wafer"]
+
+
+class TestPowerCurves:
+    def test_fig10_11_rows(self):
+        t3 = run_power_vs_switches("d26_media", "3d", SMALL)
+        t2 = run_power_vs_switches("d26_media", "2d", SMALL)
+        assert len(t3.rows) >= 2 and len(t2.rows) >= 2
+        for row in t3.rows + t2.rows:
+            assert row["total_mw"] == pytest.approx(
+                row["switch_mw"] + row["sw2sw_link_mw"] + row["core2sw_link_mw"]
+            )
+
+    def test_3d_beats_2d_at_best_point(self):
+        table = run_2d_vs_3d_best("d26_media", SMALL)
+        assert table.rows[1]["saving_pct"] > 0
+
+
+class TestWirelength:
+    def test_2d_has_longer_tail(self):
+        table = run_wirelength_distribution("d26_media", config=SMALL)
+        # Mean wire length of 2-D must exceed 3-D's (the Fig. 12 claim).
+        assert "2-D mean" in table.notes
+        total2 = sum(table.column("links_2d"))
+        total3 = sum(table.column("links_3d"))
+        assert total2 > 0 and total3 > 0
+
+
+class TestTopologyReport:
+    def test_phase1_report(self):
+        table = run_topology_report("d26_media", "phase1", SMALL)
+        assert len(table.rows) >= 3
+        cores_listed = ",".join(str(r["cores"]) for r in table.rows)
+        assert "ARM" in cores_listed
+
+    def test_floorplan_report_legal(self):
+        table = run_floorplan_report("d26_media", SMALL)
+        kinds = set(table.column("kind"))
+        assert "core" in kinds and "switch" in kinds
+
+
+class TestComparisons:
+    def test_phase_comparison_row(self):
+        table = run_phase_comparison(["d26_media"], SMALL)
+        row = table.rows[0]
+        assert row["phase1_mw"] is not None
+        if row["phase2_mw"] is not None:
+            assert row["ratio"] >= 0.9  # phase2 not meaningfully cheaper
+
+    def test_table1_single_benchmark(self):
+        table = run_table1(["d36_4"], SMALL)
+        row = table.rows[0]
+        assert row["total_3d_mw"] < row["total_2d_mw"]
+        assert "average power saving" in table.notes
+
+    def test_max_ill_sweep_shape(self):
+        table = run_max_ill_sweep("d26_media", (2, 25), SMALL)
+        assert len(table.rows) == 2
+        powers = [r["power_mw"] for r in table.rows if r["power_mw"] is not None]
+        if len(powers) == 2:
+            assert powers[1] <= powers[0] * 1.05  # looser constraint not worse
+
+    def test_mesh_comparison(self):
+        table = run_mesh_comparison(["d26_media"], SMALL)
+        row = table.rows[0]
+        assert row["power_saving_pct"] > 0
+
+    def test_floorplan_comparison(self):
+        t18 = run_area_vs_switches("d26_media", SMALL)
+        assert len(t18.rows) >= 2
+        t19 = run_best_point_comparison(["d26_media"], SMALL)
+        row = t19.rows[0]
+        assert row["custom_area_mm2"] is not None
+        assert row["constrained_area_mm2"] is not None

@@ -1,0 +1,36 @@
+"""Additional experiment runners (simulation validation, yield variants)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.experiments.simulation_validation import run_simulation_validation
+
+SMALL = SynthesisConfig(max_ill=25, switch_count_range=(3, 5))
+
+
+class TestSimulationValidation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_simulation_validation(
+            "d26_media",
+            injection_scales=(0.1, 0.8),
+            cycles=6_000,
+            warmup=600,
+            config=SMALL,
+        )
+
+    def test_rows_per_scale(self, table):
+        assert [r["injection_scale"] for r in table.rows] == [0.1, 0.8]
+
+    def test_simulated_never_beats_analytic(self, table):
+        for row in table.rows:
+            assert row["sim_latency_cyc"] >= row["analytic_cyc"] - 1e-9
+            assert row["gap_cyc"] >= -1e-9
+
+    def test_latency_grows_with_load(self, table):
+        light, heavy = table.rows
+        assert heavy["sim_latency_cyc"] >= light["sim_latency_cyc"] - 0.25
+
+    def test_delivery_healthy(self, table):
+        for row in table.rows:
+            assert row["delivery_ratio"] > 0.85

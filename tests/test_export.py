@@ -1,0 +1,88 @@
+"""Design export (repro.noc.export)."""
+
+import json
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesis import synthesize
+from repro.noc.export import (
+    design_point_to_dict,
+    save_design_point_json,
+    save_topology_dot,
+    topology_to_dict,
+    topology_to_dot,
+)
+
+
+@pytest.fixture(scope="module")
+def point():
+    from tests.conftest import grid_core_spec
+    from repro.spec.comm_spec import CommSpec, TrafficFlow
+
+    core_spec = grid_core_spec(6, 2)
+    comm_spec = CommSpec(flows=[
+        TrafficFlow("C0", "C1", 200, 8),
+        TrafficFlow("C1", "C4", 300, 8),
+        TrafficFlow("C4", "C5", 150, 8),
+    ])
+    result = synthesize(
+        core_spec, comm_spec,
+        config=SynthesisConfig(max_ill=10, switch_count_range=(2, 3)),
+    )
+    return result.best_power()
+
+
+class TestJsonExport:
+    def test_topology_dict_structure(self, point):
+        data = topology_to_dict(point.topology)
+        assert data["frequency_mhz"] == 400.0
+        assert len(data["switches"]) == point.switch_count
+        assert len(data["links"]) == len(point.topology.links)
+        assert len(data["routes"]) == 3
+
+    def test_routes_reference_valid_links(self, point):
+        data = topology_to_dict(point.topology)
+        link_ids = {l["id"] for l in data["links"]}
+        for route in data["routes"].values():
+            assert all(lid in link_ids for lid in route)
+
+    def test_design_point_dict_metrics(self, point):
+        data = design_point_to_dict(point)
+        m = data["metrics"]
+        assert m["total_power_mw"] == pytest.approx(
+            m["switch_power_mw"] + m["sw2sw_link_power_mw"]
+            + m["core2sw_link_power_mw"]
+        )
+        assert data["phase"] == point.phase
+        assert len(data["floorplan"]) == len(point.floorplan)
+
+    def test_json_roundtrip_file(self, point, tmp_path):
+        path = tmp_path / "design.json"
+        save_design_point_json(point, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["switch_count"] == point.switch_count
+
+
+class TestDotExport:
+    def test_dot_structure(self, point):
+        dot = topology_to_dot(point.topology)
+        assert dot.startswith("digraph topology {")
+        assert dot.rstrip().endswith("}")
+        for sw in point.topology.switches:
+            assert f"sw{sw.id}" in dot
+        assert "subgraph cluster_layer0" in dot
+
+    def test_dot_with_names(self, point):
+        dot = topology_to_dot(point.topology, core_names=[f"C{i}" for i in range(6)])
+        assert 'label="C0"' in dot
+
+    def test_vertical_links_bold(self, point):
+        dot = topology_to_dot(point.topology)
+        if point.topology.num_vertical_links:
+            assert "style=bold" in dot
+
+    def test_dot_file(self, point, tmp_path):
+        path = tmp_path / "topo.dot"
+        save_topology_dot(point.topology, path)
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,124 @@
+"""Frequency sweep (repro.core.frequency_sweep, Fig. 3 outer loop)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.frequency_sweep import (
+    find_lowest_feasible_frequency,
+    minimum_feasible_frequency,
+    sweep_frequencies,
+    sweep_link_widths,
+)
+from repro.errors import SynthesisError
+
+
+@pytest.fixture
+def specs(tiny_specs):
+    return tiny_specs
+
+
+class TestMinimumFrequency:
+    def test_bound_from_max_flow(self, specs):
+        _, comm_spec = specs
+        # Max flow 400 MB/s on 32-bit links: 4 B/flit -> >= 100 MHz.
+        assert minimum_feasible_frequency(comm_spec, 32) == pytest.approx(100.0)
+
+    def test_wider_links_lower_bound(self, specs):
+        _, comm_spec = specs
+        assert minimum_feasible_frequency(comm_spec, 64) == pytest.approx(50.0)
+
+
+class TestSweep:
+    def test_sweep_collects_per_frequency(self, specs):
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        sweep = sweep_frequencies(core_spec, comm_spec, (200.0, 400.0), config=cfg)
+        assert sweep.frequencies == [200.0, 400.0]
+        assert sweep.per_frequency[400.0].points
+        assert sweep.all_points()
+
+    def test_infeasible_frequency_skipped(self, specs):
+        core_spec, comm_spec = specs
+        # At 50 MHz capacity is 200 MB/s; the 400 MB/s flow cannot fit.
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        sweep = sweep_frequencies(core_spec, comm_spec, (50.0, 400.0), config=cfg)
+        assert not sweep.per_frequency[50.0].points
+        assert sweep.per_frequency[400.0].points
+
+    def test_lowest_frequency_has_best_power(self, specs):
+        """The paper's observation: best power at the lowest feasible
+        frequency (clock power dominates at fixed load)."""
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        sweep = sweep_frequencies(
+            core_spec, comm_spec, (200.0, 400.0, 700.0), config=cfg
+        )
+        per_freq = sweep.best_power_per_frequency()
+        powers = {f: p.total_power_mw for f, p in per_freq.items() if p}
+        assert powers[200.0] < powers[700.0]
+        best = sweep.best_power()
+        assert best.config.frequency_mhz == 200.0
+
+    def test_find_lowest_feasible(self, specs):
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        lowest = find_lowest_feasible_frequency(
+            core_spec, comm_spec, (50.0, 200.0, 400.0), config=cfg
+        )
+        assert lowest == 200.0
+
+    def test_no_feasible_frequency_raises(self, specs):
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        with pytest.raises(SynthesisError):
+            find_lowest_feasible_frequency(
+                core_spec, comm_spec, (10.0, 20.0), config=cfg
+            )
+
+    def test_bad_frequency_rejected(self, specs):
+        core_spec, comm_spec = specs
+        with pytest.raises(SynthesisError):
+            sweep_frequencies(core_spec, comm_spec, (0.0,))
+
+    def test_empty_sweep_best_raises(self, specs):
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        sweep = sweep_frequencies(core_spec, comm_spec, (10.0,), config=cfg)
+        with pytest.raises(SynthesisError):
+            sweep.best_power()
+
+
+class TestWidthSweep:
+    def test_results_per_width(self, specs):
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        results = sweep_link_widths(core_spec, comm_spec, (16, 32, 64), config=cfg)
+        assert set(results) == {16, 32, 64}
+        for width, result in results.items():
+            for p in result.points:
+                assert p.config.link_width_bits == width
+
+    def test_too_narrow_width_infeasible(self, specs):
+        core_spec, comm_spec = specs
+        # 2-bit links at 400 MHz: 100 MB/s capacity < the 400 MB/s flow.
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        results = sweep_link_widths(core_spec, comm_spec, (2,), config=cfg)
+        assert not results[2].points
+
+    def test_wire_energy_width_invariant(self, specs):
+        """Moving the same bytes over wider links toggles the same wire
+        capacitance: dynamic link power is (to first order) width-invariant,
+        so 16- and 64-bit designs land in the same power ballpark."""
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 2))
+        results = sweep_link_widths(core_spec, comm_spec, (16, 64), config=cfg)
+        if results[16].points and results[64].points:
+            p16 = results[16].best_power()
+            p64 = results[64].best_power()
+            ratio = p64.metrics.link_power_mw / p16.metrics.link_power_mw
+            assert 0.5 < ratio < 2.0
+
+    def test_invalid_width_rejected(self, specs):
+        core_spec, comm_spec = specs
+        with pytest.raises(SynthesisError):
+            sweep_link_widths(core_spec, comm_spec, (0,))

@@ -1,0 +1,77 @@
+"""Property-based integration: random designs through the whole flow.
+
+Hypothesis generates small random SoCs (core counts, layer assignments,
+traffic patterns); every design point the flow produces must pass the
+independent design-rule verifier of :mod:`repro.core.verification` — route
+completeness, deadlock freedom, capacity, TSV and switch-size constraints,
+latency, floorplan legality, TSV macros.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesis import SunFloor3D
+from repro.core.verification import verify_design_point
+from repro.models.library import default_library
+from repro.spec.comm_spec import CommSpec, MessageType, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+
+from tests.conftest import grid_core_spec
+
+
+@st.composite
+def random_design(draw):
+    n = draw(st.integers(min_value=4, max_value=8))
+    num_layers = draw(st.integers(min_value=1, max_value=3))
+    if num_layers > n:
+        num_layers = n
+    core_spec = grid_core_spec(n, num_layers)
+
+    n_flows = draw(st.integers(min_value=2, max_value=8))
+    pairs = set()
+    flows = []
+    for _ in range(n_flows):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if src == dst or (src, dst) in pairs:
+            continue
+        pairs.add((src, dst))
+        flows.append(TrafficFlow(
+            src=f"C{src}", dst=f"C{dst}",
+            bandwidth=draw(st.sampled_from([50, 150, 300, 600])),
+            latency=draw(st.sampled_from([6, 10, 16])),
+            message_type=draw(st.sampled_from(list(MessageType))),
+        ))
+    if not flows:
+        flows.append(TrafficFlow("C0", "C1", 100, 10))
+    return core_spec, CommSpec(flows=flows)
+
+
+class TestRandomDesigns:
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(design=random_design())
+    def test_every_point_verifies(self, design):
+        core_spec, comm_spec = design
+        config = SynthesisConfig(max_ill=8, switch_count_range=(1, 4))
+        tool = SunFloor3D(core_spec, comm_spec, config=config)
+        result = tool.synthesize()
+        library = default_library()
+        for point in result.points:
+            report = verify_design_point(point, tool.graph, library)
+            assert report.ok, report.summary()
+
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(design=random_design(), max_ill=st.sampled_from([0, 1, 3]))
+    def test_tight_ill_never_violated(self, design, max_ill):
+        """However tight the TSV constraint, accepted points respect it."""
+        core_spec, comm_spec = design
+        config = SynthesisConfig(max_ill=max_ill, switch_count_range=(1, 4))
+        result = SunFloor3D(core_spec, comm_spec, config=config).synthesize()
+        for point in result.points:
+            assert point.metrics.max_ill_used <= max_ill

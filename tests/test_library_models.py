@@ -1,0 +1,71 @@
+"""Library bundle (repro.models.library) and cross-model consistency."""
+
+import pytest
+
+from repro.models.library import NocLibrary, default_library
+from repro.units import link_capacity_mbps
+
+
+class TestNocLibrary:
+    def test_default_library_has_all_models(self):
+        lib = default_library()
+        assert lib.switch.f_max(4) > 0
+        assert lib.link.energy_per_flit_pj(1.0) > 0
+        assert lib.tsv.macro_area_mm2(32) > 0
+
+    def test_with_switch_returns_modified_copy(self):
+        lib = default_library()
+        fast = lib.with_switch(fmax_intercept_mhz=2000.0)
+        assert fast.switch.fmax_intercept_mhz == 2000.0
+        assert lib.switch.fmax_intercept_mhz != 2000.0
+        assert fast.link is lib.link
+
+    def test_with_link_and_tsv(self):
+        lib = default_library()
+        heavy = lib.with_link(e_planar_pj_per_mm=9.0).with_tsv(control_tsvs=4)
+        assert heavy.link.e_planar_pj_per_mm == 9.0
+        assert heavy.tsv.control_tsvs == 4
+
+    def test_frozen(self):
+        lib = default_library()
+        with pytest.raises(Exception):
+            lib.name = "other"
+
+
+class TestCrossModelConsistency:
+    """Relations between models the paper's argument relies on."""
+
+    def test_vertical_hop_cheaper_than_average_planar_hop(self):
+        # The 3-D advantage: one layer crossing costs less than ~0.5 mm of
+        # planar wire.
+        lib = default_library()
+        assert lib.tsv.e_tsv_pj_per_layer < lib.link.energy_per_flit_pj(0.5)
+
+    def test_switch_hop_costs_more_than_short_wire(self):
+        # There is a real trade-off between extra hops and longer wires:
+        # one switch traversal costs about as much as a fraction of a mm.
+        lib = default_library()
+        e_switch = lib.switch.energy_per_flit_pj(6)
+        assert lib.link.energy_per_flit_pj(0.1) < e_switch < lib.link.energy_per_flit_pj(3.0)
+
+    def test_capacity_consistent_with_frequency(self):
+        assert link_capacity_mbps(32, 400.0) == pytest.approx(1600.0)
+
+    def test_max_switch_size_at_paper_frequencies(self):
+        # 400 MHz admits mid-sized switches; 850+ MHz only tiny ones.
+        lib = default_library()
+        assert lib.switch.max_switch_size(400.0) >= 8
+        assert lib.switch.max_switch_size(850.0) <= 3
+
+    def test_tsv_macro_far_smaller_than_cores(self):
+        # "Area reservation" must not dominate the floorplan: a 32-bit macro
+        # is well below 0.01 mm^2 vs ~1 mm^2 cores.
+        lib = default_library()
+        assert lib.tsv.macro_area_mm2(32) < 0.01
+
+    def test_noc_components_thermally_negligible(self):
+        # Sec. I: "a single switch or interface of a NoC has low area ...
+        # and power consumption ... thermal properties not affected
+        # significantly".
+        lib = default_library()
+        assert lib.switch.area_mm2(8) + lib.link.ni_area_mm2 < 0.1

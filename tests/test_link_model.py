@@ -1,0 +1,73 @@
+"""Planar link model (repro.models.link_model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.link_model import LinkModel
+
+
+@pytest.fixture
+def model():
+    return LinkModel()
+
+
+class TestEnergyPower:
+    def test_energy_linear_in_length(self, model):
+        assert model.energy_per_flit_pj(2.0) == pytest.approx(
+            2 * model.energy_per_flit_pj(1.0)
+        )
+
+    def test_zero_length_zero_energy(self, model):
+        assert model.energy_per_flit_pj(0.0) == 0.0
+
+    def test_power_includes_static(self, model):
+        assert model.power_mw(2.0, 0.0) == pytest.approx(model.static_power_mw(2.0))
+
+    def test_negative_length_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.energy_per_flit_pj(-1.0)
+
+    def test_negative_load_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.traffic_power_mw(1.0, -5.0)
+
+
+class TestPipelining:
+    def test_short_link_single_stage(self, model):
+        assert model.pipeline_stages(0.5, 400.0) == 1
+
+    def test_zero_length_single_stage(self, model):
+        assert model.pipeline_stages(0.0, 400.0) == 1
+
+    def test_long_link_pipelined(self, model):
+        # At 400 MHz the cycle is 2.5 ns; at 0.9 ns/mm a 6 mm wire needs
+        # ceil(5.4 / 2.5) = 3 stages.
+        assert model.pipeline_stages(6.0, 400.0) == 3
+
+    def test_stage_count_monotone_in_frequency(self, model):
+        assert model.pipeline_stages(5.0, 800.0) >= model.pipeline_stages(5.0, 400.0)
+
+    def test_max_single_cycle_length(self, model):
+        length = model.max_single_cycle_length_mm(400.0)
+        assert model.pipeline_stages(length * 0.99, 400.0) == 1
+        assert model.pipeline_stages(length * 1.01, 400.0) == 2
+
+    def test_delay_equals_stages(self, model):
+        assert model.delay_cycles(6.0, 400.0) == model.pipeline_stages(6.0, 400.0)
+
+    def test_rejects_nonpositive_frequency(self, model):
+        with pytest.raises(ValueError):
+            model.pipeline_stages(1.0, 0.0)
+
+
+class TestProperties:
+    @given(
+        length=st.floats(min_value=0.0, max_value=50.0),
+        freq=st.floats(min_value=100.0, max_value=1000.0),
+    )
+    def test_stages_at_least_one(self, length, freq):
+        assert LinkModel().pipeline_stages(length, freq) >= 1
+
+    @given(length=st.floats(min_value=0.0, max_value=50.0))
+    def test_power_nonnegative(self, length):
+        assert LinkModel().power_mw(length, 100.0) >= 0.0

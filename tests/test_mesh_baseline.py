@@ -1,0 +1,84 @@
+"""Optimised-mesh baseline (repro.core.mesh_baseline, Sec. VIII-E)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.mesh_baseline import _xyz_route, synthesize_mesh
+from repro.core.synthesis import synthesize
+
+
+class TestXyzRoute:
+    def test_same_slot(self):
+        assert _xyz_route((0, 1, 1), (0, 1, 1)) == [(0, 1, 1)]
+
+    def test_x_then_y_then_z(self):
+        path = _xyz_route((0, 0, 0), (1, 2, 1))
+        assert path[0] == (0, 0, 0)
+        assert path[-1] == (1, 2, 1)
+        # X moves first.
+        assert path[1] == (0, 1, 0)
+        # Layer changes last.
+        layers = [s[0] for s in path]
+        assert layers == sorted(layers)
+
+    def test_step_count(self):
+        path = _xyz_route((0, 0, 0), (2, 3, 1))
+        assert len(path) == 1 + 3 + 1 + 2  # start + dx + dy + dz
+
+    def test_negative_directions(self):
+        path = _xyz_route((2, 3, 2), (0, 0, 0))
+        assert path[-1] == (0, 0, 0)
+        assert len(path) == 1 + 3 + 2 + 2
+
+
+class TestMeshSynthesis:
+    def test_basic_run(self, small_specs):
+        core_spec, comm_spec = small_specs
+        design = synthesize_mesh(core_spec, comm_spec)
+        assert design.total_power_mw > 0
+        assert design.avg_latency_cycles >= 1.0
+        assert design.grid_nx * design.grid_ny >= 3  # >= cores per layer
+
+    def test_routes_complete_and_valid(self, small_specs):
+        core_spec, comm_spec = small_specs
+        design = synthesize_mesh(core_spec, comm_spec)
+        design.topology.validate_routes()
+        assert len(design.topology.routes) == len(comm_spec)
+
+    def test_unused_switches_pruned(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        design = synthesize_mesh(core_spec, comm_spec)
+        used = set()
+        for link in design.topology.links:
+            for kind, idx in (link.src, link.dst):
+                if kind == "switch":
+                    used.add(idx)
+        assert used == set(range(len(design.topology.switches)))
+
+    def test_mapping_keeps_cores_in_their_layer(self, small_specs):
+        core_spec, comm_spec = small_specs
+        design = synthesize_mesh(core_spec, comm_spec)
+        for core, slot in design.mapping.items():
+            assert slot[0] == core_spec.layer_of(core)
+
+    def test_mapping_injective(self, small_specs):
+        core_spec, comm_spec = small_specs
+        design = synthesize_mesh(core_spec, comm_spec)
+        slots = list(design.mapping.values())
+        assert len(slots) == len(set(slots))
+
+    def test_deterministic(self, small_specs):
+        core_spec, comm_spec = small_specs
+        a = synthesize_mesh(core_spec, comm_spec, anneal_iterations=500)
+        b = synthesize_mesh(core_spec, comm_spec, anneal_iterations=500)
+        assert a.total_power_mw == pytest.approx(b.total_power_mw)
+        assert a.mapping == b.mapping
+
+    def test_custom_beats_mesh(self, small_specs):
+        """The Fig. 23 shape: the synthesized custom topology consumes less
+        power than the optimised mesh."""
+        core_spec, comm_spec = small_specs
+        cfg = SynthesisConfig(max_ill=12)
+        custom = synthesize(core_spec, comm_spec, config=cfg).best_power()
+        mesh = synthesize_mesh(core_spec, comm_spec, config=cfg)
+        assert custom.total_power_mw < mesh.total_power_mw

@@ -1,0 +1,130 @@
+"""NoC metrics evaluation (repro.noc.metrics)."""
+
+import pytest
+
+from repro.models.library import default_library
+from repro.noc.metrics import (
+    compute_metrics,
+    flow_latency_cycles,
+    link_lengths_from_positions,
+)
+from repro.noc.topology import Topology
+
+
+@pytest.fixture
+def routed():
+    """Two cores on different layers, one switch each, one flow."""
+    topo = Topology(frequency_mhz=400.0, width_bits=32)
+    s0 = topo.add_switch(0)
+    s1 = topo.add_switch(1)
+    s0.x, s0.y = 1.0, 1.0
+    s1.x, s1.y = 2.0, 1.0
+    topo.attach_core(0, 0, 0)
+    topo.attach_core(1, 1, 1)
+    link = topo.add_switch_link(0, 1)
+    inj, ej = topo.injection_link(0), topo.ejection_link(1)
+    topo.record_route((0, 1), [inj.id, link.id, ej.id], [0, 1], 400.0)
+    centers = {0: (0.5, 1.0), 1: (2.5, 1.0)}
+    return topo, centers
+
+
+class TestLinkLengths:
+    def test_lengths_from_positions(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        inj = topo.injection_link(0)
+        assert inj.length_mm == pytest.approx(0.5)
+        sw_link = [l for l in topo.links if not l.is_core_link][0]
+        assert sw_link.length_mm == pytest.approx(1.0)
+
+    def test_missing_core_position_raises(self, routed):
+        topo, _ = routed
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            link_lengths_from_positions(topo, {})
+
+
+class TestLatency:
+    def test_zero_load_latency_counts_switches(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        lib = default_library()
+        # Short links (single stage) contribute nothing: 2 switches = 2 cyc.
+        assert flow_latency_cycles(topo, (0, 1), lib) == pytest.approx(2.0)
+
+    def test_long_link_adds_pipeline_cycles(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        lib = default_library()
+        sw_link = [l for l in topo.links if not l.is_core_link][0]
+        sw_link.length_mm = 6.0  # 3 stages at 400 MHz -> +2 cycles
+        assert flow_latency_cycles(topo, (0, 1), lib) == pytest.approx(4.0)
+
+    def test_unknown_flow_raises(self, routed):
+        topo, _ = routed
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            flow_latency_cycles(topo, (5, 6), default_library())
+
+
+class TestComputeMetrics:
+    def test_power_breakdown_sums(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        m = compute_metrics(topo, centers, default_library())
+        assert m.total_power_mw == pytest.approx(
+            m.switch_power_mw + m.sw2sw_link_power_mw + m.core2sw_link_power_mw
+        )
+        assert m.link_power_mw == pytest.approx(
+            m.sw2sw_link_power_mw + m.core2sw_link_power_mw
+        )
+        assert m.switch_power_mw > 0
+        assert m.core2sw_link_power_mw > 0
+
+    def test_counts(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        m = compute_metrics(topo, centers, default_library())
+        assert m.num_switches == 2
+        assert m.num_links == 5  # 2 core pairs * 2 + 1 switch link
+        # Both cores attach to same-layer switches; only the inter-switch
+        # link crosses a boundary.
+        assert m.num_vertical_links == 1
+        assert m.max_ill_used == topo.max_ill_used
+
+    def test_latency_stats(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        m = compute_metrics(topo, centers, default_library())
+        assert m.avg_latency_cycles == pytest.approx(2.0)
+        assert m.max_latency_cycles == pytest.approx(2.0)
+        assert m.per_flow_latency[(0, 1)] == pytest.approx(2.0)
+
+    def test_more_load_more_power(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        lib = default_library()
+        m1 = compute_metrics(topo, centers, lib)
+        # Double every load.
+        for link in topo.links:
+            link.load_mbps *= 2
+        topo.flow_bandwidth[(0, 1)] *= 2
+        m2 = compute_metrics(topo, centers, lib)
+        assert m2.total_power_mw > m1.total_power_mw
+
+    def test_tsv_macro_area_counted(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        m = compute_metrics(topo, centers, default_library())
+        lib = default_library()
+        # Only the inter-switch link crosses a boundary: one macro area.
+        expected = lib.tsv.macro_area_mm2(32)
+        assert m.tsv_macro_area_mm2 == pytest.approx(expected)
+
+    def test_ni_area(self, routed):
+        topo, centers = routed
+        link_lengths_from_positions(topo, centers)
+        m = compute_metrics(topo, centers, default_library())
+        assert m.ni_area_mm2 == pytest.approx(2 * default_library().link.ni_area_mm2)

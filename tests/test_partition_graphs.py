@@ -1,0 +1,157 @@
+"""PG / SPG / LPG builders (repro.core.partition_graphs, Defs. 3-5, Eq. 1)."""
+
+import pytest
+
+from repro.core.partition_graphs import (
+    build_lpg,
+    build_pg,
+    build_spg,
+    edge_weight,
+)
+from repro.errors import SpecError
+from repro.graphs.comm_graph import build_comm_graph
+from repro.spec.comm_spec import CommSpec, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+
+
+def _graph():
+    cores = CoreSpec(cores=[
+        Core("A", 1, 1, 0, 0, 0),
+        Core("B", 1, 1, 2, 0, 0),
+        Core("C", 1, 1, 0, 0, 1),
+        Core("D", 1, 1, 2, 0, 1),
+    ])
+    comm = CommSpec(flows=[
+        TrafficFlow("A", "B", 400, 8),    # intra-layer 0
+        TrafficFlow("A", "C", 200, 4),    # inter-layer
+        TrafficFlow("C", "D", 100, 10),   # intra-layer 1
+    ])
+    return build_comm_graph(cores, comm)
+
+
+class TestEdgeWeight:
+    def test_alpha_one_is_bandwidth_only(self):
+        w = edge_weight(200, 8, 400, 4, alpha=1.0)
+        assert w == pytest.approx(0.5)
+
+    def test_alpha_zero_is_latency_only(self):
+        w = edge_weight(200, 8, 400, 4, alpha=0.0)
+        assert w == pytest.approx(0.5)
+
+    def test_blend(self):
+        w = edge_weight(400, 4, 400, 4, alpha=0.7)
+        assert w == pytest.approx(1.0)  # both terms maximal
+
+    def test_bad_inputs(self):
+        with pytest.raises(SpecError):
+            edge_weight(1, 1, 0, 1, 0.5)
+        with pytest.raises(SpecError):
+            edge_weight(1, 0, 1, 1, 0.5)
+
+
+class TestPG:
+    def test_pg_has_all_comm_edges(self):
+        g = _graph()
+        pg = build_pg(g, alpha=1.0)
+        assert set(pg) == {(0, 1), (0, 2), (2, 3)}
+
+    def test_pg_weights_normalised(self):
+        g = _graph()
+        pg = build_pg(g, alpha=1.0)
+        assert pg[(0, 1)] == pytest.approx(1.0)   # max bandwidth flow
+        assert pg[(0, 2)] == pytest.approx(0.5)
+        assert pg[(2, 3)] == pytest.approx(0.25)
+
+    def test_tightest_latency_dominates_at_alpha_zero(self):
+        g = _graph()
+        pg = build_pg(g, alpha=0.0)
+        assert pg[(0, 2)] == pytest.approx(1.0)   # lat 4 == min_lat
+
+
+class TestSPG:
+    def test_interlayer_edges_scaled_down(self):
+        g = _graph()
+        pg = build_pg(g, alpha=1.0)
+        spg = build_spg(g, alpha=1.0, theta=10.0, theta_max=15.0)
+        assert spg[(0, 2)] == pytest.approx(pg[(0, 2)] / 10.0)
+        # Intra-layer PG edges unchanged.
+        assert spg[(0, 1)] == pytest.approx(pg[(0, 1)])
+
+    def test_extra_intra_layer_edges_added(self):
+        g = _graph()
+        spg = build_spg(g, alpha=1.0, theta=10.0, theta_max=15.0)
+        # (1, 3)? different layers: no. (B=1, D=3). (1, 0) exists. New edge
+        # must appear between non-communicating same-layer pairs: (2, 3)
+        # communicates, so the only candidate pair in layer 1 is none;
+        # layer 0 pair (0,1) communicates too. Use a graph with such a pair:
+        cores = CoreSpec(cores=[
+            Core("A", 1, 1, 0, 0, 0),
+            Core("B", 1, 1, 2, 0, 0),
+            Core("C", 1, 1, 4, 0, 0),
+            Core("D", 1, 1, 0, 0, 1),
+        ])
+        comm = CommSpec(flows=[
+            TrafficFlow("A", "B", 400, 8),
+            TrafficFlow("C", "D", 100, 8),
+        ])
+        from repro.graphs.comm_graph import build_comm_graph
+
+        g2 = build_comm_graph(cores, comm)
+        spg2 = build_spg(g2, alpha=1.0, theta=10.0, theta_max=15.0)
+        # A-C and B-C are same-layer non-communicating pairs.
+        max_wt = 1.0  # A->B weight
+        expected = 10.0 * max_wt / (10.0 * 15.0)
+        assert spg2[(0, 2)] == pytest.approx(expected)
+        assert spg2[(1, 2)] == pytest.approx(expected)
+
+    def test_extra_edges_at_most_tenth_of_max(self):
+        g = _graph()
+        for theta in (1.0, 7.0, 15.0):
+            spg = build_spg(g, alpha=1.0, theta=theta, theta_max=15.0)
+            pg = build_pg(g, alpha=1.0)
+            max_wt = max(pg.values())
+            extra = theta * max_wt / (10.0 * 15.0)
+            assert extra <= max_wt / 10.0 + 1e-12
+
+    def test_invalid_theta(self):
+        g = _graph()
+        with pytest.raises(SpecError):
+            build_spg(g, 1.0, theta=0.0, theta_max=15.0)
+        with pytest.raises(SpecError):
+            build_spg(g, 1.0, theta=20.0, theta_max=15.0)
+
+
+class TestLPG:
+    def test_members_are_layer_cores(self):
+        g = _graph()
+        members, _ = build_lpg(g, 0, alpha=1.0)
+        assert members == [0, 1]
+        members1, _ = build_lpg(g, 1, alpha=1.0)
+        assert members1 == [2, 3]
+
+    def test_interlayer_flows_ignored(self):
+        g = _graph()
+        members, weights = build_lpg(g, 0, alpha=1.0)
+        # Only the A->B edge survives, in local indices.
+        assert (0, 1) in weights
+        assert all(k == (0, 1) for k in weights)
+
+    def test_isolated_vertices_get_low_weight_edges(self):
+        cores = CoreSpec(cores=[
+            Core("A", 1, 1, 0, 0, 0),
+            Core("B", 1, 1, 2, 0, 0),
+            Core("C", 1, 1, 4, 0, 0),
+        ])
+        comm = CommSpec(flows=[TrafficFlow("A", "B", 100, 8)])
+        from repro.graphs.comm_graph import build_comm_graph
+
+        g = build_comm_graph(cores, comm)
+        members, weights = build_lpg(g, 0, alpha=1.0)
+        # C (local 2) is isolated: low-weight edges to locals 0 and 1.
+        assert (0, 2) in weights and (1, 2) in weights
+        assert weights[(0, 2)] < weights[(0, 1)] / 1000
+
+    def test_empty_layer(self):
+        g = _graph()
+        members, weights = build_lpg(g, 5, alpha=1.0)
+        assert members == [] and weights == {}

@@ -1,0 +1,75 @@
+"""Placed-component containers (repro.floorplan.placement)."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan.geometry import Rect
+from repro.floorplan.placement import ChipFloorplan, PlacedComponent
+
+
+def _fp():
+    fp = ChipFloorplan()
+    fp.add(PlacedComponent("a", "core", Rect(0, 0, 2, 2), 0))
+    fp.add(PlacedComponent("b", "core", Rect(3, 0, 1, 1), 0))
+    fp.add(PlacedComponent("sw0", "switch", Rect(0, 0, 0.5, 0.5), 1))
+    return fp
+
+
+class TestPlacedComponent:
+    def test_center(self):
+        c = PlacedComponent("a", "core", Rect(1, 1, 2, 2), 0)
+        assert c.center == (2.0, 2.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FloorplanError):
+            PlacedComponent("a", "blob", Rect(0, 0, 1, 1), 0)
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(FloorplanError):
+            PlacedComponent("a", "core", Rect(0, 0, 1, 1), -1)
+
+
+class TestChipFloorplan:
+    def test_lookup(self):
+        fp = _fp()
+        assert fp.by_name("b").rect.x == 3
+        assert fp.has("sw0") and not fp.has("zz")
+        with pytest.raises(FloorplanError):
+            fp.by_name("zz")
+
+    def test_layer_queries(self):
+        fp = _fp()
+        assert fp.num_layers == 2
+        assert len(fp.in_layer(0)) == 2
+        assert [c.name for c in fp.of_kind("switch")] == ["sw0"]
+
+    def test_bboxes_and_area(self):
+        fp = _fp()
+        bbox0 = fp.layer_bbox(0)
+        assert bbox0.x2 == 4.0 and bbox0.y2 == 2.0
+        # Die area: max layer bbox (layer 0 dominates).
+        assert fp.die_area_mm2() == pytest.approx(8.0)
+
+    def test_component_area(self):
+        fp = _fp()
+        assert fp.total_component_area_mm2("core") == pytest.approx(5.0)
+        assert fp.total_component_area_mm2() == pytest.approx(5.25)
+
+    def test_legality(self):
+        fp = _fp()
+        assert fp.is_legal()
+        fp.add(PlacedComponent("bad", "core", Rect(0.5, 0.5, 1, 1), 0))
+        assert not fp.is_legal()
+        assert ("a", "bad") in fp.overlaps()
+
+    def test_overlap_on_other_layer_legal(self):
+        fp = _fp()
+        # Overlaps core "a" on layer 0, but lives on layer 1 (clear of sw0).
+        fp.add(PlacedComponent("c", "core", Rect(1, 1, 2, 2), 1))
+        assert fp.is_legal()
+
+    def test_empty(self):
+        fp = ChipFloorplan()
+        assert fp.num_layers == 0
+        assert fp.die_area_mm2() == 0.0
+        assert fp.is_legal()

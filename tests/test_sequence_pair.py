@@ -1,0 +1,99 @@
+"""Sequence-pair representation and packing (repro.floorplan.sequence_pair)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan.geometry import Rect, rects_overlap
+from repro.floorplan.sequence_pair import (
+    SequencePair,
+    positions_to_seqpair,
+    seqpair_to_positions,
+)
+
+
+def _no_overlaps(positions, widths, heights):
+    rects = [
+        Rect(x, y, w, h) for (x, y), w, h in zip(positions, widths, heights)
+    ]
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects_overlap(rects[i], rects[j]):
+                return False
+    return True
+
+
+class TestSequencePair:
+    def test_identity_row(self):
+        sp = SequencePair.identity(3)
+        pos = seqpair_to_positions(sp, [1, 1, 1], [1, 1, 1])
+        # Identity: everything in one row, left to right.
+        assert pos == [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+
+    def test_grid_is_compact(self):
+        n = 9
+        sp = SequencePair.grid(n)
+        pos = seqpair_to_positions(sp, [1.0] * n, [1.0] * n)
+        w = max(x + 1 for x, _ in pos)
+        h = max(y + 1 for _, y in pos)
+        assert w <= 3.0 + 1e-9 and h <= 3.0 + 1e-9
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(positive=(0, 0, 1), negative=(0, 1, 2))
+
+    def test_swap_positive(self):
+        sp = SequencePair.identity(3).with_swap_positive(0, 2)
+        assert sp.positive == (2, 1, 0)
+        assert sp.negative == (0, 1, 2)
+
+    def test_swap_both_keeps_permutations(self):
+        sp = SequencePair.identity(4).with_swap_both(1, 3)
+        assert sorted(sp.positive) == [0, 1, 2, 3]
+        assert sorted(sp.negative) == [0, 1, 2, 3]
+
+    def test_vertical_stack(self):
+        # Reverse positive, keep negative: block 0 below block 1 below 2.
+        sp = SequencePair(positive=(2, 1, 0), negative=(0, 1, 2))
+        pos = seqpair_to_positions(sp, [1, 1, 1], [1, 1, 1])
+        assert pos == [(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            seqpair_to_positions(SequencePair.identity(2), [1.0], [1.0, 1.0])
+
+
+class TestPositionsToSeqpair:
+    def test_round_trip_preserves_relative_order(self):
+        # Two blocks side by side stay side by side after re-derivation.
+        positions = [(0.0, 0.0), (2.0, 0.0)]
+        sp = positions_to_seqpair(positions, [1, 1], [1, 1])
+        packed = seqpair_to_positions(sp, [1, 1], [1, 1])
+        assert packed[0][0] < packed[1][0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            positions_to_seqpair([(0, 0)], [1, 2], [1])
+
+
+class TestPackingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_packing_never_overlaps(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=10))
+        widths = [data.draw(st.floats(min_value=0.2, max_value=5.0)) for _ in range(n)]
+        heights = [data.draw(st.floats(min_value=0.2, max_value=5.0)) for _ in range(n)]
+        perm1 = data.draw(st.permutations(range(n)))
+        perm2 = data.draw(st.permutations(range(n)))
+        sp = SequencePair(positive=tuple(perm1), negative=tuple(perm2))
+        pos = seqpair_to_positions(sp, widths, heights)
+        assert _no_overlaps(pos, widths, heights)
+        assert all(x >= 0 and y >= 0 for x, y in pos)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=12))
+    def test_grid_packing_legal(self, n):
+        sp = SequencePair.grid(n)
+        widths = [1.0 + 0.1 * i for i in range(n)]
+        heights = [1.0 + 0.05 * i for i in range(n)]
+        pos = seqpair_to_positions(sp, widths, heights)
+        assert _no_overlaps(pos, widths, heights)

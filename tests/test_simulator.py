@@ -1,0 +1,95 @@
+"""Flit-level wormhole simulator (repro.noc.simulator)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesis import synthesize
+from repro.errors import SynthesisError
+from repro.models.library import default_library
+from repro.noc.metrics import flow_latency_cycles
+from repro.noc.simulator import WormholeSimulator, simulate_design_point
+from repro.noc.topology import Topology
+
+
+def _point(tiny_specs):
+    core_spec, comm_spec = tiny_specs
+    result = synthesize(
+        core_spec, comm_spec,
+        config=SynthesisConfig(max_ill=10, switch_count_range=(2, 3)),
+    )
+    return result.best_power()
+
+
+class TestValidation:
+    def test_unrouted_topology_rejected(self):
+        topo = Topology(frequency_mhz=400.0, width_bits=32)
+        with pytest.raises(SynthesisError):
+            WormholeSimulator(topo)
+
+    def test_bad_parameters_rejected(self, tiny_specs):
+        point = _point(tiny_specs)
+        with pytest.raises(SynthesisError):
+            WormholeSimulator(point.topology, buffer_depth=0)
+        with pytest.raises(SynthesisError):
+            WormholeSimulator(point.topology, packet_length_flits=0)
+        sim = WormholeSimulator(point.topology)
+        with pytest.raises(SynthesisError):
+            sim.run(cycles=100, warmup=100)
+
+
+class TestSimulation:
+    def test_all_packets_delivered_at_low_load(self, tiny_specs):
+        point = _point(tiny_specs)
+        sim = WormholeSimulator(point.topology, seed=1)
+        stats = sim.run(cycles=8000, warmup=1000, injection_scale=0.2)
+        assert stats.packets_injected > 10
+        # Allow a handful of packets still in flight at the horizon.
+        assert stats.delivery_ratio > 0.95
+
+    def test_latency_at_least_zero_load(self, tiny_specs):
+        """Measured latency can never beat the zero-load analytic bound."""
+        point = _point(tiny_specs)
+        lib = default_library()
+        sim = WormholeSimulator(point.topology, seed=2)
+        stats = sim.run(cycles=8000, warmup=1000, injection_scale=0.2)
+        zero_load = {
+            f: flow_latency_cycles(point.topology, f, lib)
+            for f in point.topology.routes
+        }
+        for flow, measured in stats.per_flow_latency.items():
+            assert measured >= zero_load[flow] - 1e-9
+
+    def test_latency_close_to_zero_load_at_light_traffic(self, tiny_specs):
+        point = _point(tiny_specs)
+        lib = default_library()
+        sim = WormholeSimulator(point.topology, seed=3, packet_length_flits=2)
+        stats = sim.run(cycles=10_000, warmup=1000, injection_scale=0.05)
+        avg_zero_load = sum(
+            flow_latency_cycles(point.topology, f, lib)
+            for f in point.topology.routes
+        ) / len(point.topology.routes)
+        # Zero-load + serialisation (1 extra flit) + per-link registers: the
+        # sim should stay within a small constant of the analytic bound.
+        assert stats.avg_packet_latency <= avg_zero_load + 8.0
+
+    def test_latency_grows_with_load(self, tiny_specs):
+        point = _point(tiny_specs)
+        light = WormholeSimulator(point.topology, seed=4).run(
+            cycles=6000, warmup=500, injection_scale=0.1
+        )
+        heavy = WormholeSimulator(point.topology, seed=4).run(
+            cycles=6000, warmup=500, injection_scale=1.0
+        )
+        assert heavy.avg_packet_latency >= light.avg_packet_latency
+
+    def test_deterministic(self, tiny_specs):
+        point = _point(tiny_specs)
+        a = WormholeSimulator(point.topology, seed=7).run(cycles=4000, warmup=400)
+        b = WormholeSimulator(point.topology, seed=7).run(cycles=4000, warmup=400)
+        assert a.avg_packet_latency == b.avg_packet_latency
+        assert a.packets_delivered == b.packets_delivered
+
+    def test_convenience_wrapper(self, tiny_specs):
+        point = _point(tiny_specs)
+        stats = simulate_design_point(point, cycles=4000, warmup=400)
+        assert stats.cycles == 4000

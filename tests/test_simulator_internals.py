@@ -1,0 +1,123 @@
+"""Wormhole simulator internals (repro.noc.simulator)."""
+
+import pytest
+
+from repro.models.library import default_library
+from repro.noc.simulator import WormholeSimulator, _Flit
+from repro.noc.topology import Topology
+
+
+def _linear_topology(length_mm=0.5):
+    """core0 -> sw0 -> sw1 -> core1 with a single routed flow."""
+    topo = Topology(frequency_mhz=400.0, width_bits=32)
+    s0 = topo.add_switch(0)
+    s1 = topo.add_switch(0)
+    s0.x, s0.y = 1.0, 0.0
+    s1.x, s1.y = 2.0, 0.0
+    topo.attach_core(0, 0, 0)
+    topo.attach_core(1, 1, 0)
+    link = topo.add_switch_link(0, 1)
+    inj, ej = topo.injection_link(0), topo.ejection_link(1)
+    for l in topo.links:
+        l.length_mm = length_mm
+    topo.record_route((0, 1), [inj.id, link.id, ej.id], [0, 1], 400.0)
+    return topo
+
+
+class TestConstructionDetails:
+    def test_injection_probability_from_bandwidth(self):
+        topo = _linear_topology()
+        sim = WormholeSimulator(topo, packet_length_flits=4)
+        # 400 MB/s on a 1600 MB/s link with 4-flit packets: 400/1600/4.
+        assert sim._inject_prob[(0, 1)] == pytest.approx(400 / 1600 / 4)
+
+    def test_link_delay_includes_pipelining(self):
+        topo = _linear_topology(length_mm=6.0)  # 3 stages at 400 MHz
+        sim = WormholeSimulator(topo)
+        for link in topo.links:
+            assert sim._link_delay[link.id] == 3
+
+    def test_short_links_one_cycle(self):
+        topo = _linear_topology(length_mm=0.1)
+        sim = WormholeSimulator(topo)
+        assert all(d == 1 for d in sim._link_delay)
+
+    def test_inputs_per_link_maps_switch_fabric(self):
+        topo = _linear_topology()
+        sim = WormholeSimulator(topo)
+        table = sim._inputs_per_link()
+        inj = topo.injection_link(0)
+        ej = topo.ejection_link(1)
+        sw_link = [l for l in topo.links if not l.is_core_link][0]
+        # The sw0->sw1 link is fed by sw0's only input: core0's injection.
+        assert table[sw_link.id] == [inj.id]
+        # The ejection link is fed by sw1's inputs: the sw link plus core1's
+        # own injection link (core1 is attached to sw1).
+        inj1 = topo.injection_link(1)
+        assert table[ej.id] == sorted([inj1.id, sw_link.id])
+        # Injection links are not outputs of any switch.
+        assert inj.id not in table
+
+
+class TestWormholeAllocation:
+    def test_head_flit_allocates_and_tail_releases(self):
+        topo = _linear_topology()
+        sim = WormholeSimulator(topo)
+        allocation = {l.id: None for l in topo.links}
+        in_flight = [[] for _ in topo.links]
+        from collections import deque
+
+        in_flight = [deque() for _ in topo.links]
+        head = _Flit((0, 1), 7, True, False, 0, 0)
+        body = _Flit((0, 1), 7, False, False, 0, 0)
+        tail = _Flit((0, 1), 7, False, True, 0, 0)
+        other = _Flit((0, 1), 8, True, False, 0, 0)
+        link = 0
+        assert sim._try_send(head, link, allocation, in_flight, 0)
+        assert allocation[link] == ((0, 1), 7)
+        # A competing head is refused while the packet holds the link.
+        assert not sim._try_send(other, link, allocation, in_flight, 1)
+        # Body flits of the owner pass.
+        assert sim._try_send(body, link, allocation, in_flight, 1)
+        # The tail releases the allocation.
+        assert sim._try_send(tail, link, allocation, in_flight, 2)
+        assert allocation[link] is None
+        assert sim._try_send(other, link, allocation, in_flight, 3)
+
+    def test_one_flit_per_cycle_per_link(self):
+        topo = _linear_topology()
+        sim = WormholeSimulator(topo)
+        from collections import deque
+
+        allocation = {l.id: None for l in topo.links}
+        in_flight = [deque() for _ in topo.links]
+        head = _Flit((0, 1), 7, True, False, 0, 0)
+        body = _Flit((0, 1), 7, False, False, 0, 0)
+        assert sim._try_send(head, 0, allocation, in_flight, 5)
+        # Same cycle, same link: refused.
+        assert not sim._try_send(body, 0, allocation, in_flight, 5)
+        # Next cycle: accepted.
+        assert sim._try_send(body, 0, allocation, in_flight, 6)
+
+
+class TestEndToEnd:
+    def test_single_packet_latency_exact(self):
+        """One lone packet: latency = links*delay + serialisation, exactly."""
+        topo = _linear_topology(length_mm=0.1)  # all links 1 cycle
+        sim = WormholeSimulator(topo, packet_length_flits=2, seed=0)
+        # Effectively one packet: tiny injection probability, long horizon.
+        sim._inject_prob[(0, 1)] = 0.0005
+        stats = sim.run(cycles=15_000, warmup=0, injection_scale=1.0)
+        assert stats.packets_delivered >= 1
+        # 3 links x 1 cycle + 1 extra flit of serialisation = 4 cycles.
+        assert stats.avg_packet_latency == pytest.approx(4.0, abs=0.75)
+
+    def test_pipelined_link_raises_latency(self):
+        topo_short = _linear_topology(length_mm=0.1)
+        topo_long = _linear_topology(length_mm=6.0)
+        results = []
+        for topo in (topo_short, topo_long):
+            sim = WormholeSimulator(topo, packet_length_flits=2, seed=1)
+            sim._inject_prob[(0, 1)] = 0.001
+            results.append(sim.run(cycles=10_000, warmup=0).avg_packet_latency)
+        assert results[1] > results[0] + 3.0  # 3 links x 2 extra stages

@@ -1,0 +1,98 @@
+"""Spec file round-trips (repro.spec.io)."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.comm_spec import CommSpec, MessageType, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+from repro.spec.io import (
+    load_comm_spec_json,
+    load_comm_spec_text,
+    load_core_spec_json,
+    load_core_spec_text,
+    save_comm_spec_json,
+    save_comm_spec_text,
+    save_core_spec_json,
+    save_core_spec_text,
+)
+
+
+@pytest.fixture
+def core_spec():
+    return CoreSpec(cores=[
+        Core("ARM", 1.5, 1.25, 0.0, 0.0, 0),
+        Core("MEM0", 2.0, 1.0, 2.0, 0.0, 1),
+    ])
+
+
+@pytest.fixture
+def comm_spec():
+    return CommSpec(flows=[
+        TrafficFlow("ARM", "MEM0", 400.0, 8.0),
+        TrafficFlow("MEM0", "ARM", 300.0, 8.0, MessageType.RESPONSE),
+    ])
+
+
+class TestJsonRoundTrip:
+    def test_core_spec(self, tmp_path, core_spec):
+        path = tmp_path / "cores.json"
+        save_core_spec_json(core_spec, path)
+        loaded = load_core_spec_json(path)
+        assert loaded.names == core_spec.names
+        assert loaded[1].layer == 1
+        assert loaded[0].width == pytest.approx(1.5)
+
+    def test_comm_spec(self, tmp_path, comm_spec):
+        path = tmp_path / "comm.json"
+        save_comm_spec_json(comm_spec, path)
+        loaded = load_comm_spec_json(path)
+        assert len(loaded) == 2
+        assert loaded[1].message_type is MessageType.RESPONSE
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"cores": [{"name": "A"}]}')
+        with pytest.raises(SpecError):
+            load_core_spec_json(path)
+
+    def test_missing_toplevel_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(SpecError):
+            load_core_spec_json(path)
+        with pytest.raises(SpecError):
+            load_comm_spec_json(path)
+
+
+class TestTextRoundTrip:
+    def test_core_spec(self, tmp_path, core_spec):
+        path = tmp_path / "cores.txt"
+        save_core_spec_text(core_spec, path)
+        loaded = load_core_spec_text(path)
+        assert loaded.names == ["ARM", "MEM0"]
+        assert loaded[0].height == pytest.approx(1.25)
+
+    def test_comm_spec(self, tmp_path, comm_spec):
+        path = tmp_path / "comm.txt"
+        save_comm_spec_text(comm_spec, path)
+        loaded = load_comm_spec_text(path)
+        assert loaded[0].bandwidth == pytest.approx(400.0)
+        assert loaded[1].message_type is MessageType.RESPONSE
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "cores.txt"
+        path.write_text("# comment\n\ncore A 1 1 0 0 0  # trailing\n")
+        loaded = load_core_spec_text(path)
+        assert loaded.names == ["A"]
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "cores.txt"
+        path.write_text("core A 1 1 0 0\n")  # missing layer
+        with pytest.raises(SpecError, match=":1"):
+            load_core_spec_text(path)
+
+    def test_flow_default_message_type(self, tmp_path):
+        path = tmp_path / "comm.txt"
+        path.write_text("flow A B 100 8\n")
+        loaded = load_comm_spec_text(path)
+        assert loaded[0].message_type is MessageType.REQUEST

@@ -1,0 +1,101 @@
+"""Property-based round-trips of the specification file formats."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spec.comm_spec import CommSpec, MessageType, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+from repro.spec.io import (
+    comm_spec_from_dict,
+    comm_spec_to_dict,
+    core_spec_from_dict,
+    core_spec_to_dict,
+)
+
+NAME = st.text(alphabet=string.ascii_uppercase + string.digits, min_size=1, max_size=8)
+DIM = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+POS = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def core_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    names = draw(st.lists(NAME, min_size=n, max_size=n, unique=True))
+    cores = []
+    for i, name in enumerate(names):
+        cores.append(Core(
+            name=name,
+            width=draw(DIM), height=draw(DIM),
+            x=draw(POS), y=draw(POS),
+            layer=draw(st.integers(min_value=0, max_value=3)),
+        ))
+    return CoreSpec(cores=cores)
+
+
+@st.composite
+def comm_specs(draw):
+    n_names = draw(st.integers(min_value=2, max_value=8))
+    names = draw(st.lists(NAME, min_size=n_names, max_size=n_names, unique=True))
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    flows = []
+    pairs = set()
+    for _ in range(n_flows):
+        src = draw(st.sampled_from(names))
+        dst = draw(st.sampled_from(names))
+        if src == dst or (src, dst) in pairs:
+            continue
+        pairs.add((src, dst))
+        flows.append(TrafficFlow(
+            src=src, dst=dst,
+            bandwidth=draw(st.floats(min_value=0.1, max_value=5000.0)),
+            latency=draw(st.floats(min_value=0.1, max_value=100.0)),
+            message_type=draw(st.sampled_from(list(MessageType))),
+        ))
+    if not flows:
+        flows = [TrafficFlow(names[0], names[1], 1.0, 1.0)]
+    return CommSpec(flows=flows)
+
+
+class TestDictRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=core_specs())
+    def test_core_spec_dict_roundtrip(self, spec):
+        loaded = core_spec_from_dict(core_spec_to_dict(spec))
+        assert loaded.names == spec.names
+        for a, b in zip(loaded, spec):
+            assert (a.width, a.height, a.x, a.y, a.layer) == (
+                b.width, b.height, b.x, b.y, b.layer
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=comm_specs())
+    def test_comm_spec_dict_roundtrip(self, spec):
+        loaded = comm_spec_from_dict(comm_spec_to_dict(spec))
+        assert len(loaded) == len(spec)
+        for a, b in zip(loaded, spec):
+            assert (a.src, a.dst, a.bandwidth, a.latency, a.message_type) == (
+                b.src, b.dst, b.bandwidth, b.latency, b.message_type
+            )
+
+
+class TestFileRoundTrips:
+    @settings(max_examples=20, deadline=None)
+    @given(spec=core_specs())
+    def test_core_spec_json_file(self, spec, tmp_path_factory):
+        from repro.spec.io import load_core_spec_json, save_core_spec_json
+
+        path = tmp_path_factory.mktemp("rt") / "cores.json"
+        save_core_spec_json(spec, path)
+        loaded = load_core_spec_json(path)
+        assert loaded.names == spec.names
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=comm_specs())
+    def test_comm_spec_json_file(self, spec, tmp_path_factory):
+        from repro.spec.io import load_comm_spec_json, save_comm_spec_json
+
+        path = tmp_path_factory.mktemp("rt") / "comm.json"
+        save_comm_spec_json(spec, path)
+        loaded = load_comm_spec_json(path)
+        assert [f.src for f in loaded] == [f.src for f in spec]

@@ -1,0 +1,56 @@
+"""Cross-spec validation (repro.spec.validate)."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.comm_spec import CommSpec, TrafficFlow
+from repro.spec.core_spec import Core, CoreSpec
+from repro.spec.validate import validate_specs
+
+
+def _cores(*entries):
+    return CoreSpec(cores=[Core(*e) for e in entries])
+
+
+def _flows(*triples):
+    return CommSpec(flows=[TrafficFlow(s, d, bw, 8.0) for s, d, bw in triples])
+
+
+class TestValidateSpecs:
+    def test_valid_pair_passes(self):
+        cores = _cores(("A", 1, 1, 0, 0, 0), ("B", 1, 1, 2, 0, 0))
+        validate_specs(cores, _flows(("A", "B", 100)))
+
+    def test_empty_core_spec_rejected(self):
+        with pytest.raises(SpecError, match="core"):
+            validate_specs(CoreSpec(), _flows(("A", "B", 100)))
+
+    def test_empty_comm_spec_rejected(self):
+        cores = _cores(("A", 1, 1, 0, 0, 0))
+        with pytest.raises(SpecError, match="communication"):
+            validate_specs(cores, CommSpec())
+
+    def test_unknown_flow_endpoint_rejected(self):
+        cores = _cores(("A", 1, 1, 0, 0, 0), ("B", 1, 1, 2, 0, 0))
+        with pytest.raises(SpecError, match="Z"):
+            validate_specs(cores, _flows(("A", "Z", 100)))
+        with pytest.raises(SpecError, match="Z"):
+            validate_specs(cores, _flows(("Z", "B", 100)))
+
+    def test_non_contiguous_layers_rejected(self):
+        cores = _cores(("A", 1, 1, 0, 0, 0), ("B", 1, 1, 2, 0, 2))
+        with pytest.raises(SpecError, match="contiguous"):
+            validate_specs(cores, _flows(("A", "B", 100)))
+
+    def test_overlapping_cores_rejected(self):
+        cores = _cores(("A", 2, 2, 0, 0, 0), ("B", 2, 2, 1, 1, 0))
+        with pytest.raises(SpecError, match="overlap"):
+            validate_specs(cores, _flows(("A", "B", 100)))
+
+    def test_abutting_cores_allowed(self):
+        cores = _cores(("A", 1, 1, 0, 0, 0), ("B", 1, 1, 1.0, 0, 0))
+        validate_specs(cores, _flows(("A", "B", 100)))
+
+    def test_overlap_on_different_layers_allowed(self):
+        cores = _cores(("A", 2, 2, 0, 0, 0), ("B", 2, 2, 0, 0, 1))
+        validate_specs(cores, _flows(("A", "B", 100)))

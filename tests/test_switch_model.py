@@ -1,0 +1,99 @@
+"""Switch power/area/timing model (repro.models.switch_model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.switch_model import SwitchModel
+
+
+@pytest.fixture
+def model():
+    return SwitchModel()
+
+
+class TestFrequency:
+    def test_fmax_decreases_with_ports(self, model):
+        assert model.f_max(4) > model.f_max(8) > model.f_max(12)
+
+    def test_fmax_floor(self, model):
+        assert model.f_max(100) == model.fmax_floor_mhz
+
+    def test_max_switch_size_consistent_with_fmax(self, model):
+        size = model.max_switch_size(400.0)
+        assert model.f_max(size) >= 400.0
+        assert model.f_max(size + 1) < 400.0
+
+    def test_max_switch_size_at_400mhz_matches_paper_behaviour(self, model):
+        # D_26_media at 400 MHz only admits >= 3 switches (Sec. VIII-A):
+        # 26 cores on 2 switches would need ~14 ports, above the limit.
+        size = model.max_switch_size(400.0)
+        assert 26 / 3 + 2 <= size < 26 / 2 + 1
+
+    def test_max_switch_size_rejects_unreachable_frequency(self, model):
+        with pytest.raises(ValueError):
+            model.max_switch_size(10_000.0)
+
+    def test_max_switch_size_rejects_nonpositive(self, model):
+        with pytest.raises(ValueError):
+            model.max_switch_size(0.0)
+
+
+class TestPower:
+    def test_power_components_positive(self, model):
+        assert model.static_power_mw(5) > 0
+        assert model.clock_power_mw(5, 400.0) > 0
+        assert model.traffic_power_mw(5, 100.0) > 0
+
+    def test_power_monotone_in_ports(self, model):
+        assert model.power_mw(8, 400.0, 100.0) > model.power_mw(4, 400.0, 100.0)
+
+    def test_power_monotone_in_load(self, model):
+        assert model.power_mw(5, 400.0, 500.0) > model.power_mw(5, 400.0, 100.0)
+
+    def test_zero_load_power_is_static_plus_clock(self, model):
+        total = model.power_mw(5, 400.0, 0.0)
+        assert total == pytest.approx(
+            model.static_power_mw(5) + model.clock_power_mw(5, 400.0)
+        )
+
+    def test_few_mw_at_1ghz(self, model):
+        # Paper Sec. I: a single switch has "few megaWatt [mW] at 1 GHz".
+        p = model.power_mw(6, 1000.0, 500.0)
+        assert 1.0 < p < 20.0
+
+    def test_negative_load_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.traffic_power_mw(5, -1.0)
+
+    def test_too_few_ports_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.power_mw(1, 400.0, 0.0)
+
+
+class TestAreaDelay:
+    def test_area_monotone(self, model):
+        assert model.area_mm2(10) > model.area_mm2(3)
+
+    def test_area_small(self, model):
+        # "a single switch ... has low area (few thousand gates)".
+        assert model.area_mm2(8) < 0.1
+
+    def test_delay_one_cycle(self, model):
+        assert model.delay_cycles() == 1
+
+
+class TestProperties:
+    @given(ports=st.integers(min_value=2, max_value=40))
+    def test_energy_per_flit_positive_and_monotone(self, ports):
+        model = SwitchModel()
+        assert model.energy_per_flit_pj(ports) > 0
+        assert model.energy_per_flit_pj(ports + 1) > model.energy_per_flit_pj(ports)
+
+    @given(
+        ports=st.integers(min_value=2, max_value=40),
+        freq=st.floats(min_value=50.0, max_value=900.0),
+        load=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_power_nonnegative(self, ports, freq, load):
+        model = SwitchModel()
+        assert model.power_mw(ports, freq, load) > 0

@@ -1,0 +1,43 @@
+"""2-D synthesis flow (repro.core.synthesis2d, the [16] baseline)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesis2d import synthesize_2d
+from repro.errors import SpecError
+
+
+class TestSynthesize2d:
+    def test_runs_on_single_layer(self, single_layer_specs):
+        core_spec, comm_spec = single_layer_specs
+        result = synthesize_2d(core_spec, comm_spec)
+        assert not result.is_empty
+        best = result.best_power()
+        assert best.floorplan.num_layers == 1
+
+    def test_no_vertical_links_ever(self, single_layer_specs):
+        core_spec, comm_spec = single_layer_specs
+        result = synthesize_2d(core_spec, comm_spec)
+        for p in result.points:
+            assert p.metrics.num_vertical_links == 0
+            assert p.metrics.max_ill_used == 0
+            assert p.metrics.tsv_macro_area_mm2 == 0.0
+
+    def test_rejects_multi_layer_spec(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        with pytest.raises(SpecError, match="single-layer"):
+            synthesize_2d(core_spec, comm_spec)
+
+    def test_phase_forced_to_phase1(self, single_layer_specs):
+        core_spec, comm_spec = single_layer_specs
+        result = synthesize_2d(
+            core_spec, comm_spec, config=SynthesisConfig(phase="phase2")
+        )
+        assert all(p.phase == "phase1" for p in result.points)
+
+    def test_config_passthrough(self, single_layer_specs):
+        core_spec, comm_spec = single_layer_specs
+        cfg = SynthesisConfig(switch_count_range=(2, 3))
+        result = synthesize_2d(core_spec, comm_spec, config=cfg)
+        assert result.points
+        assert all(2 <= p.assignment.num_switches <= 3 for p in result.points)

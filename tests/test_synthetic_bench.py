@@ -1,0 +1,123 @@
+"""Parametric synthetic benchmark generator (repro.bench.synthetic)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.synthetic import PATTERNS, synthetic_benchmark
+from repro.errors import SpecError
+from repro.spec.validate import validate_specs
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_all_patterns_produce_valid_benchmarks(self, pattern):
+        bench = synthetic_benchmark(
+            10, pattern, num_layers=2, seed=1, floorplan_moves=300
+        )
+        validate_specs(bench.core_spec_3d, bench.comm_spec)
+        validate_specs(bench.core_spec_2d, bench.comm_spec)
+        assert bench.num_cores == 10
+        assert bench.num_flows >= 5
+
+    def test_total_bandwidth_honoured_when_below_port_cap(self):
+        bench = synthetic_benchmark(
+            8, "random", seed=2, total_bandwidth=2000.0, floorplan_moves=300
+        )
+        requests = [
+            f for f in bench.comm_spec
+            if f.message_type.value == "request"
+        ]
+        assert sum(f.bandwidth for f in requests) == pytest.approx(2000.0, rel=0.01)
+
+    def test_port_cap_prevents_unsatisfiable_hotspots(self):
+        bench = synthetic_benchmark(
+            8, "bottleneck", seed=0, total_bandwidth=8000.0,
+            floorplan_moves=300, max_port_bandwidth=1200.0,
+        )
+        inbound, outbound = {}, {}
+        for f in bench.comm_spec:
+            outbound[f.src] = outbound.get(f.src, 0.0) + f.bandwidth
+            inbound[f.dst] = inbound.get(f.dst, 0.0) + f.bandwidth
+        assert max(inbound.values()) <= 1200.0 + 1.0
+        assert max(outbound.values()) <= 1200.0 + 1.0
+
+    def test_responses_added(self):
+        bench = synthetic_benchmark(
+            8, "pipeline", seed=3, with_responses=True, floorplan_moves=300
+        )
+        responses = [
+            f for f in bench.comm_spec if f.message_type.value == "response"
+        ]
+        assert len(responses) == bench.num_flows // 2
+
+    def test_latency_range_honoured(self):
+        bench = synthetic_benchmark(
+            8, "random", seed=4, latency_range=(5.0, 7.0), floorplan_moves=300
+        )
+        assert all(5.0 <= f.latency <= 7.0 for f in bench.comm_spec)
+
+    def test_deterministic(self):
+        a = synthetic_benchmark(8, "distributed", seed=5, floorplan_moves=300)
+        b = synthetic_benchmark(8, "distributed", seed=5, floorplan_moves=300)
+        assert [(f.src, f.dst, f.bandwidth) for f in a.comm_spec] == [
+            (f.src, f.dst, f.bandwidth) for f in b.comm_spec
+        ]
+        assert [(c.x, c.y, c.layer) for c in a.core_spec_3d] == [
+            (c.x, c.y, c.layer) for c in b.core_spec_3d
+        ]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_benchmark(8, "random", seed=1, floorplan_moves=300)
+        b = synthetic_benchmark(8, "random", seed=2, floorplan_moves=300)
+        assert [(f.src, f.dst) for f in a.comm_spec] != [
+            (f.src, f.dst) for f in b.comm_spec
+        ] or [f.bandwidth for f in a.comm_spec] != [
+            f.bandwidth for f in b.comm_spec
+        ]
+
+    def test_pipeline_structure(self):
+        bench = synthetic_benchmark(8, "pipeline", seed=0, floorplan_moves=300)
+        chain = {(f"C{i}", f"C{i+1}") for i in range(7)}
+        present = {(f.src, f.dst) for f in bench.comm_spec}
+        assert chain <= present
+
+    def test_bottleneck_has_shared_hotspot(self):
+        bench = synthetic_benchmark(12, "bottleneck", seed=0, floorplan_moves=300)
+        fanin = {}
+        for f in bench.comm_spec:
+            fanin[f.dst] = fanin.get(f.dst, 0) + 1
+        assert max(fanin.values()) >= 4  # a shared memory all procs hit
+
+    def test_bad_args(self):
+        with pytest.raises(SpecError):
+            synthetic_benchmark(3, "random")
+        with pytest.raises(SpecError):
+            synthetic_benchmark(8, "star")
+        with pytest.raises(SpecError):
+            synthetic_benchmark(8, "random", total_bandwidth=0.0)
+        with pytest.raises(SpecError):
+            synthetic_benchmark(8, "random", latency_range=(0.0, 5.0))
+
+
+class TestSynthesizable:
+    @settings(
+        max_examples=4, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        pattern=st.sampled_from(PATTERNS),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_generated_designs_synthesize(self, pattern, seed):
+        from repro.core.config import SynthesisConfig
+        from repro.core.synthesis import synthesize
+
+        bench = synthetic_benchmark(
+            8, pattern, num_layers=2, seed=seed,
+            total_bandwidth=4000.0, floorplan_moves=200,
+        )
+        result = synthesize(
+            bench.core_spec_3d, bench.comm_spec,
+            config=SynthesisConfig(max_ill=15, switch_count_range=(2, 4)),
+        )
+        assert result.points, "synthetic designs must be synthesizable"

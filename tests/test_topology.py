@@ -1,0 +1,127 @@
+"""NoC topology data model (repro.noc.topology)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.noc.topology import Topology, core_ep, switch_ep
+
+
+@pytest.fixture
+def topo():
+    t = Topology(frequency_mhz=400.0, width_bits=32)
+    t.add_switch(0)
+    t.add_switch(1)
+    t.add_switch(2)
+    return t
+
+
+class TestConstruction:
+    def test_attach_core_creates_two_links(self, topo):
+        inj, ej = topo.attach_core(0, 0, core_layer=0)
+        assert inj.src == core_ep(0) and inj.dst == switch_ep(0)
+        assert ej.src == switch_ep(0) and ej.dst == core_ep(0)
+        assert topo.switches[0].in_ports == 1
+        assert topo.switches[0].out_ports == 1
+
+    def test_attach_core_twice_rejected(self, topo):
+        topo.attach_core(0, 0, 0)
+        with pytest.raises(SynthesisError):
+            topo.attach_core(0, 1, 0)
+
+    def test_core_link_crossing_layers_counts_ill(self, topo):
+        topo.attach_core(0, 2, core_layer=0)  # core L0 -> switch L2
+        # injection and ejection each cross boundaries (0,1) and (1,2).
+        assert topo.ill[(0, 1)] == 2
+        assert topo.ill[(1, 2)] == 2
+        assert topo.ill_between(0, 2) == 4
+
+    def test_switch_link_ports_and_ill(self, topo):
+        link = topo.add_switch_link(0, 1)
+        assert link.is_vertical and link.layers_crossed == 1
+        assert topo.switches[0].out_ports == 1
+        assert topo.switches[1].in_ports == 1
+        assert topo.ill[(0, 1)] == 1
+
+    def test_self_link_rejected(self, topo):
+        with pytest.raises(SynthesisError):
+            topo.add_switch_link(1, 1)
+
+    def test_links_between_uses_index(self, topo):
+        a = topo.add_switch_link(0, 1)
+        b = topo.add_switch_link(0, 1)
+        found = topo.links_between(switch_ep(0), switch_ep(1))
+        assert [l.id for l in found] == [a.id, b.id]
+        assert topo.links_between(switch_ep(1), switch_ep(0)) == []
+
+    def test_capacity(self, topo):
+        assert topo.capacity_mbps == pytest.approx(1600.0)
+
+
+class TestRoutes:
+    def _routed(self, topo):
+        topo.attach_core(0, 0, 0)
+        topo.attach_core(1, 1, 1)
+        link = topo.add_switch_link(0, 1)
+        inj = topo.injection_link(0)
+        ej = topo.ejection_link(1)
+        topo.record_route((0, 1), [inj.id, link.id, ej.id], [0, 1], 200.0)
+        return topo, link
+
+    def test_record_route_accumulates_load(self, topo):
+        topo, link = self._routed(topo)
+        assert link.load_mbps == pytest.approx(200.0)
+        assert topo.flow_bandwidth[(0, 1)] == pytest.approx(200.0)
+        assert (0, 1) in link.flows
+
+    def test_double_route_rejected(self, topo):
+        topo, link = self._routed(topo)
+        with pytest.raises(SynthesisError):
+            topo.record_route((0, 1), [link.id], [0], 1.0)
+
+    def test_validate_routes_passes(self, topo):
+        topo, _ = self._routed(topo)
+        topo.validate_routes()
+
+    def test_validate_catches_broken_chain(self, topo):
+        topo, link = self._routed(topo)
+        ej = topo.ejection_link(1)
+        topo.routes[(0, 1)] = [ej.id, link.id]
+        with pytest.raises(SynthesisError):
+            topo.validate_routes()
+
+    def test_validate_catches_wrong_endpoints(self, topo):
+        topo, link = self._routed(topo)
+        inj = topo.injection_link(0)
+        topo.routes[(0, 1)] = [inj.id, link.id]  # missing ejection
+        with pytest.raises(SynthesisError):
+            topo.validate_routes()
+
+    def test_check_capacity(self, topo):
+        topo, link = self._routed(topo)
+        assert topo.check_capacity() == []
+        link.load_mbps = 2000.0
+        assert link.id in topo.check_capacity()
+
+    def test_missing_injection_link(self, topo):
+        topo.core_to_switch[5] = 0
+        with pytest.raises(SynthesisError):
+            topo.injection_link(5)
+
+
+class TestQueries:
+    def test_stats(self, topo):
+        topo.attach_core(0, 0, 0)
+        topo.add_switch_link(0, 1)
+        topo.add_switch_link(1, 2)
+        assert topo.num_vertical_links == 2
+        assert topo.num_switch_links == 2
+        assert topo.max_ill_used == 1
+        assert topo.max_switch_size == 2  # switch 1: 1 in + ... max(in,out)
+
+    def test_switch_size(self, topo):
+        topo.attach_core(0, 0, 0)
+        topo.attach_core(1, 0, 0)
+        sw = topo.switches[0]
+        assert sw.size == 2
+        topo.add_switch_link(0, 1)
+        assert sw.size == 3  # out_ports = 3 now

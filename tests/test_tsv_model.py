@@ -1,0 +1,156 @@
+"""TSV model and yield curves (repro.models.tsv_model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.tsv_model import (
+    DEFAULT_PROCESSES,
+    TsvModel,
+    TsvProcess,
+    max_tsvs_for_yield,
+    yield_for_tsv_count,
+)
+
+
+@pytest.fixture
+def model():
+    return TsvModel()
+
+
+class TestYieldCurves:
+    def test_flat_up_to_knee(self):
+        p = DEFAULT_PROCESSES["wafer-level-b"]
+        assert p.yield_at(0) == p.base_yield
+        assert p.yield_at(p.knee_tsvs) == p.base_yield
+
+    def test_decays_beyond_knee(self):
+        p = DEFAULT_PROCESSES["wafer-level-b"]
+        y1 = p.yield_at(p.knee_tsvs + 100)
+        y2 = p.yield_at(p.knee_tsvs + 500)
+        assert p.base_yield > y1 > y2 > 0
+
+    def test_processes_ordered_like_fig1(self):
+        # Better processes sustain more TSVs at any yield target.
+        a = max_tsvs_for_yield("wafer-level-a", 0.5)
+        b = max_tsvs_for_yield("wafer-level-b", 0.5)
+        c = max_tsvs_for_yield("die-to-wafer", 0.5)
+        assert a > b > c
+
+    def test_max_tsvs_inverts_yield(self):
+        p = DEFAULT_PROCESSES["die-to-wafer"]
+        target = 0.5
+        n = p.max_tsvs(target)
+        assert p.yield_at(n) >= target
+        assert p.yield_at(n + 2) < target + 1e-6
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROCESSES["die-to-wafer"].max_tsvs(0.99)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROCESSES["die-to-wafer"].max_tsvs(0.0)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            yield_for_tsv_count("bogus", 100)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROCESSES["wafer-level-a"].yield_at(-1)
+
+
+class TestTsvGeometry:
+    def test_tsvs_per_link_includes_control(self, model):
+        assert model.tsvs_per_link(32) == 32 + model.control_tsvs
+
+    def test_macro_area_matches_pitch(self, model):
+        # 40 TSVs at 8 um pitch: 40 * 0.008^2 mm^2.
+        assert model.macro_area_mm2(32) == pytest.approx(40 * 0.008 * 0.008)
+
+    def test_macro_area_scales_with_width(self, model):
+        assert model.macro_area_mm2(64) > model.macro_area_mm2(32)
+
+    def test_rejects_bad_width(self, model):
+        with pytest.raises(ValueError):
+            model.tsvs_per_link(0)
+
+
+class TestTsvElectrical:
+    def test_energy_linear_in_layers(self, model):
+        assert model.energy_per_flit_pj(3) == pytest.approx(
+            3 * model.energy_per_flit_pj(1)
+        )
+
+    def test_vertical_crossing_order_of_magnitude_cheaper_than_planar(self, model):
+        # Paper Sec. VIII: TSVs have ~10x lower RC than a 1.5 mm planar link.
+        from repro.models.link_model import LinkModel
+
+        planar = LinkModel().energy_per_flit_pj(1.5)
+        assert model.energy_per_flit_pj(1) < planar / 5
+
+    def test_delay_negligible_at_noc_frequencies(self, model):
+        # 17 ps/layer against a 2.5 ns cycle: zero extra cycles.
+        assert model.delay_cycles(3, 400.0) == 0
+
+    def test_delay_counts_for_absurd_stacks(self, model):
+        assert model.delay_cycles(200, 1000.0) >= 3
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.energy_per_flit_pj(-1)
+        with pytest.raises(ValueError):
+            model.delay_cycles(-1, 400.0)
+
+
+class TestRedundancy:
+    """Spare TSVs for fault tolerance (Sec. III, after [40])."""
+
+    def test_redundancy_scales_tsv_count(self):
+        base = TsvModel()
+        spare = TsvModel(redundancy=1.25)
+        assert spare.tsvs_per_link(32) == 50  # ceil(40 * 1.25)
+        assert spare.tsvs_per_link(32) > base.tsvs_per_link(32)
+
+    def test_redundancy_scales_macro_area(self):
+        base = TsvModel()
+        spare = TsvModel(redundancy=1.5)
+        assert spare.macro_area_mm2(32) > base.macro_area_mm2(32)
+
+    def test_redundancy_reduces_max_ill_for_budget(self):
+        base = TsvModel()
+        spare = TsvModel(redundancy=1.5)
+        budget = 1000
+        assert spare.max_ill_for_budget(budget, 32) < base.max_ill_for_budget(budget, 32)
+
+    def test_no_spares_is_identity(self):
+        assert TsvModel(redundancy=1.0).tsvs_per_link(32) == 40
+
+    def test_invalid_redundancy_rejected(self):
+        with pytest.raises(ValueError):
+            TsvModel(redundancy=0.5)
+
+
+class TestMaxIllDerivation:
+    def test_budget_divides_by_link_cost(self, model):
+        per_link = model.tsvs_per_link(32)
+        assert model.max_ill_for_budget(per_link * 25, 32) == 25
+        assert model.max_ill_for_budget(per_link * 25 + 10, 32) == 25
+
+    def test_zero_budget(self, model):
+        assert model.max_ill_for_budget(0, 32) == 0
+
+    def test_rejects_negative_budget(self, model):
+        with pytest.raises(ValueError):
+            model.max_ill_for_budget(-1, 32)
+
+
+class TestProperties:
+    @given(
+        knee=st.integers(min_value=10, max_value=2000),
+        decay=st.floats(min_value=10.0, max_value=2000.0),
+        count=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_yield_monotone_nonincreasing(self, knee, decay, count):
+        p = TsvProcess("t", base_yield=0.9, knee_tsvs=knee, decay_tsvs=decay)
+        assert p.yield_at(count) >= p.yield_at(count + 100) - 1e-12

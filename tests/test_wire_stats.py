@@ -1,0 +1,52 @@
+"""Wire-length statistics (repro.noc.wire_stats, Fig. 12)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.wire_stats import length_stats, wire_length_histogram
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        bins = wire_length_histogram([0.1, 0.6, 1.2, 1.4], bin_width_mm=0.5)
+        assert [b.count for b in bins] == [1, 1, 2]
+        assert bins[0].label == "[0.00, 0.50)"
+
+    def test_total_count_preserved(self):
+        lengths = [0.3, 0.7, 2.2, 4.9, 5.0]
+        bins = wire_length_histogram(lengths, 1.0)
+        assert sum(b.count for b in bins) == len(lengths)
+
+    def test_value_at_max_lands_in_last_bin(self):
+        bins = wire_length_histogram([1.0], bin_width_mm=0.5, max_mm=1.0)
+        assert bins[-1].count == 1
+
+    def test_empty_input(self):
+        bins = wire_length_histogram([], 0.5)
+        assert len(bins) == 1 and bins[0].count == 0
+
+    def test_explicit_max(self):
+        bins = wire_length_histogram([0.1], 0.5, max_mm=2.0)
+        assert len(bins) == 4
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wire_length_histogram([1.0], 0.0)
+        with pytest.raises(ValueError):
+            wire_length_histogram([-1.0], 0.5)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=20.0), max_size=50))
+    def test_counts_always_total(self, lengths):
+        bins = wire_length_histogram(lengths, 0.7)
+        assert sum(b.count for b in bins) == len(lengths)
+
+
+class TestLengthStats:
+    def test_stats(self):
+        mean, mx, total = length_stats([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert mx == 3.0
+        assert total == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert length_stats([]) == (0.0, 0.0, 0.0)
