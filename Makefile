@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-full benchmarks
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# CI-friendly engine scaling benchmark; writes BENCH_engine.json.
+bench:
+	$(PYTHON) -m repro.cli bench --quick
+
+bench-full:
+	$(PYTHON) -m repro.cli bench
+
+# The full paper-figure benchmark harness (slow). Explicit file list:
+# bench_*.py does not match pytest's default test-file pattern.
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

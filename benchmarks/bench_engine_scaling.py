@@ -1,0 +1,70 @@
+"""Engine scaling — parallel sweep speedup + routing hot-path speedup.
+
+Not a paper figure: this is the repo's own perf-trajectory gate. It runs
+:func:`repro.engine.benchmark.run_engine_benchmark` (the same routine as
+``python -m repro.cli bench``), echoes the numbers, writes
+``BENCH_engine.json`` at the repo root, and asserts
+
+* the optimised ``compute_paths`` beats the frozen naive baseline by
+  >= 1.3x single-threaded while producing identical routes, and
+* a 4-worker frequency × α grid sweep beats the serial baseline by
+  >= 2x wall-clock — when the machine actually has >= 4 CPUs; on smaller
+  boxes (CI containers pinned to one core) the speedup is recorded but
+  only result *identity* is asserted, since a CPU-bound speedup beyond
+  the core count is physically impossible.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine.benchmark import run_engine_benchmark
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+SWEEP_JOBS = 4
+SWEEP_SPEEDUP_FLOOR = 2.0
+PATHS_SPEEDUP_FLOOR = 1.3
+
+
+def _run():
+    return run_engine_benchmark(
+        quick=True, jobs=SWEEP_JOBS, output=str(OUTPUT), log=print
+    )
+
+
+def test_engine_scaling(benchmark):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(f"cpu_count={report['cpu_count']} "
+          f"sweep={report['sweep']['speedup']}x "
+          f"compute_paths={report['compute_paths']['speedup']}x")
+
+    # Parallel and serial sweeps must merge to identical design points.
+    assert report["sweep"]["identical_points"]
+    assert report["sweep"]["valid_points"] > 0
+    assert OUTPUT.exists()
+
+    # Routing hot path: single-threaded, so the floor holds everywhere.
+    paths = report["compute_paths"]
+    assert paths["routes_identical"]
+    assert paths["speedup"] >= PATHS_SPEEDUP_FLOOR, (
+        f"compute_paths speedup {paths['speedup']}x below "
+        f"{PATHS_SPEEDUP_FLOOR}x"
+    )
+
+    # Sweep scaling: only meaningful when the workers have cores to run on.
+    cpus = report["cpu_count"] or 1
+    if cpus >= SWEEP_JOBS:
+        assert report["sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR, (
+            f"sweep speedup {report['sweep']['speedup']}x on "
+            f"{report['sweep']['jobs']} workers ({cpus} CPUs) below "
+            f"{SWEEP_SPEEDUP_FLOOR}x"
+        )
+    else:
+        pytest.skip(
+            f"only {cpus} CPU(s) visible: recorded sweep speedup "
+            f"{report['sweep']['speedup']}x without asserting the "
+            f"{SWEEP_SPEEDUP_FLOOR}x floor (needs >= {SWEEP_JOBS} CPUs)"
+        )

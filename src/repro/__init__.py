@@ -31,7 +31,9 @@ from repro.core import (
 )
 from repro.core.frequency_sweep import sweep_alpha, sweep_frequencies
 from repro.core.verification import verify_design_point
+from repro.engine import GridPoint, ParameterGrid, build_tasks, run_tasks
 from repro.errors import (
+    EngineError,
     FloorplanError,
     LPError,
     PathComputationError,
@@ -55,6 +57,11 @@ __all__ = [
     "sweep_frequencies",
     "sweep_alpha",
     "verify_design_point",
+    "GridPoint",
+    "ParameterGrid",
+    "build_tasks",
+    "run_tasks",
+    "EngineError",
     "NocLibrary",
     "default_library",
     "Core",

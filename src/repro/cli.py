@@ -5,6 +5,10 @@ Sub-commands:
 * ``synth``      — synthesize a NoC for a core + communication spec pair
   (JSON or text format) or a named built-in benchmark, printing the
   trade-off points and the chosen design.
+* ``sweep``      — explore an architectural design space (frequency × α ×
+  link width) on the parallel engine (``--jobs``).
+* ``bench``      — run the engine scaling benchmark and write
+  ``BENCH_engine.json`` (perf trajectory tracking).
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig17, fig18, fig19,
   fig21, fig23, table1).
@@ -58,11 +62,68 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--export-dot", metavar="PATH",
                        help="write the topology as Graphviz DOT")
 
+    sweep = sub.add_parser(
+        "sweep", help="explore an architectural design space in parallel"
+    )
+    ssrc = sweep.add_mutually_exclusive_group(required=True)
+    ssrc.add_argument("--benchmark", help="built-in benchmark name")
+    ssrc.add_argument("--cores", help="core specification file (json/text)")
+    sweep.add_argument("--comm", help="communication spec file (with --cores)")
+    sweep.add_argument("--dims", choices=("2d", "3d"), default="3d")
+    sweep.add_argument("--frequencies", type=str, default=None,
+                       help="comma-separated frequencies in MHz, e.g. 300,400,600")
+    sweep.add_argument("--alphas", type=str, default=None,
+                       help="comma-separated PG weights in [0,1], e.g. 0.3,0.7")
+    sweep.add_argument("--widths", type=str, default=None,
+                       help="comma-separated link widths in bits, e.g. 16,32,64")
+    sweep.add_argument("--max-ill", type=int, default=25)
+    sweep.add_argument("--switches", type=str, default=None,
+                       help="switch count range, e.g. 3:14")
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = one per CPU, 1 = serial)")
+    sweep.add_argument("--objective", choices=("power", "latency"),
+                       default="power")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+
+    bench = sub.add_parser(
+        "bench", help="run the engine scaling benchmark (BENCH_engine.json)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small grid (CI-friendly)")
+    bench.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for the parallel leg "
+                            "(0 = auto; minimum 2 — the leg must exercise "
+                            "a real pool)")
+    bench.add_argument("--output", default="BENCH_engine.json",
+                       help="where to write the JSON report")
+
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("id", help="experiment id (e.g. table1, fig11, fig23)")
 
     sub.add_parser("benchmarks", help="list built-in benchmarks")
     return parser
+
+
+def _parse_values(text, cast, what):
+    if text is None:
+        return ()
+    try:
+        return tuple(cast(item) for item in text.split(",") if item.strip())
+    except ValueError:
+        raise ReproError(f"could not parse {what} list {text!r}")
+
+
+def _parse_switch_range(text):
+    if not text:
+        return None
+    lo, _, hi = text.partition(":")
+    try:
+        return (int(lo), int(hi or lo))
+    except ValueError:
+        raise ReproError(
+            f"could not parse switch range {text!r} (expected e.g. 3:14)"
+        )
 
 
 def _load_specs(args):
@@ -89,10 +150,7 @@ def _load_specs(args):
 
 def _cmd_synth(args) -> int:
     core_spec, comm_spec = _load_specs(args)
-    switch_range = None
-    if args.switches:
-        lo, _, hi = args.switches.partition(":")
-        switch_range = (int(lo), int(hi or lo))
+    switch_range = _parse_switch_range(args.switches)
     config = SynthesisConfig(
         frequency_mhz=args.frequency,
         max_ill=args.max_ill,
@@ -140,6 +198,70 @@ def _cmd_synth(args) -> int:
 
         save_topology_dot(best.topology, args.export_dot, core_spec.names)
         print(f"wrote {args.export_dot}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.engine import ParameterGrid, build_tasks, run_tasks
+
+    core_spec, comm_spec = _load_specs(args)
+    config = SynthesisConfig(
+        max_ill=args.max_ill,
+        objective=args.objective,
+        switch_count_range=_parse_switch_range(args.switches),
+    )
+    grid = ParameterGrid(
+        frequencies_mhz=_parse_values(args.frequencies, float, "frequency"),
+        alphas=_parse_values(args.alphas, float, "alpha"),
+        link_widths_bits=_parse_values(args.widths, int, "width"),
+    )
+    tasks = build_tasks(core_spec, comm_spec, grid, config)
+    progress = None
+    if not args.quiet:
+        def progress(done, total, key):
+            print(f"  [{done}/{total}] {key.label()}")
+    print(f"sweeping {len(tasks)} design point(s) "
+          f"(jobs={args.jobs or 'auto'})")
+    results = run_tasks(tasks, jobs=args.jobs, progress=progress)
+
+    best = None
+    print(f"\n{'point':36s} {'valid':>5s} {'best mW':>9s} {'best lat':>9s}")
+    for task_result in results:
+        result = task_result.result
+        label = task_result.key.label()
+        if not result.points:
+            note = "skipped" if task_result.skipped else "no valid points"
+            print(f"{label:36s} {0:5d} {note:>20s}")
+            continue
+        point = result.best(args.objective)
+        print(f"{label:36s} {len(result.points):5d} "
+              f"{point.total_power_mw:9.1f} {point.avg_latency_cycles:9.2f}")
+        if best is None or point.objective_value() < best.objective_value():
+            best = point
+    if best is None:
+        print("\nno valid design points anywhere in the grid")
+        return 1
+    from repro.experiments.topology_report import describe_design_point
+
+    print("\nbest design point over the grid:")
+    print(describe_design_point(best))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.engine.benchmark import run_engine_benchmark
+
+    report = run_engine_benchmark(
+        quick=args.quick, jobs=args.jobs or None, output=args.output,
+        log=print,
+    )
+    sweep = report["sweep"]
+    paths = report["compute_paths"]
+    print(
+        f"\nsummary: sweep speedup {sweep['speedup']}x on {sweep['jobs']} "
+        f"worker(s) ({report['cpu_count']} CPU(s) visible), "
+        f"compute_paths speedup {paths['speedup']}x"
+    )
     return 0
 
 
@@ -192,6 +314,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "synth":
             return _cmd_synth(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "benchmarks":

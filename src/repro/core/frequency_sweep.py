@@ -10,6 +10,14 @@ the design points into one result; :func:`find_lowest_feasible_frequency`
 reproduces the paper's observation that "the best power points are obtained
 for topologies designed at the lowest possible operating frequency" (found
 to be 400 MHz for D_26_media).
+
+Every sweep here runs on the :mod:`repro.engine` executor: pass ``jobs``
+(``1`` = serial, the default; ``0``/``None`` = one worker per CPU) to fan
+the independent synthesis points across a process pool, and ``progress``
+for per-point callbacks. Sweep parameters are validated *up front* — an
+invalid value anywhere in the list aborts before any point is synthesized —
+and parallel runs merge deterministically, point for point identical to a
+serial run.
 """
 
 from __future__ import annotations
@@ -19,12 +27,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SynthesisConfig
 from repro.core.design_point import DesignPoint, SynthesisResult
-from repro.core.synthesis import SunFloor3D
+from repro.engine.executor import ProgressFn, run_tasks
+from repro.engine.grid import ParameterGrid, build_tasks
 from repro.errors import SynthesisError
 from repro.models.library import NocLibrary
 from repro.spec.comm_spec import CommSpec
 from repro.spec.core_spec import CoreSpec
-from repro.units import link_capacity_mbps
 
 
 @dataclass
@@ -47,7 +55,14 @@ class FrequencySweepResult:
         points = self.all_points()
         if not points:
             raise SynthesisError("no valid design point at any frequency")
-        return min(points, key=lambda p: (p.total_power_mw, p.switch_count))
+        # Frequency joins the key so equal-power ties resolve to the lowest
+        # frequency deterministically, not by dict insertion order.
+        return min(
+            points,
+            key=lambda p: (
+                p.total_power_mw, p.switch_count, p.config.frequency_mhz
+            ),
+        )
 
     def best_power_per_frequency(self) -> Dict[float, Optional[DesignPoint]]:
         out: Dict[float, Optional[DesignPoint]] = {}
@@ -75,20 +90,33 @@ def sweep_frequencies(
     frequencies_mhz: Sequence[float],
     library: Optional[NocLibrary] = None,
     config: Optional[SynthesisConfig] = None,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> FrequencySweepResult:
-    """Run the synthesis flow once per frequency."""
+    """Run the synthesis flow once per frequency (in parallel for jobs != 1).
+
+    All frequencies are validated before any synthesis starts, so a bad
+    value midway through the list cannot discard already-computed points.
+    Frequencies whose link capacity cannot carry the largest single flow
+    are merged as empty results, as before.
+    """
+    freqs = [float(f) for f in frequencies_mhz]
+    bad = [f for f in freqs if f <= 0]
+    if bad:
+        raise SynthesisError(
+            f"frequency must be positive, got {bad[0]}"
+            + (f" (and {len(bad) - 1} more invalid values)" if len(bad) > 1 else "")
+        )
     base = config if config is not None else SynthesisConfig()
+    tasks = build_tasks(
+        core_spec, comm_spec, ParameterGrid(frequencies_mhz=tuple(freqs)),
+        base, library,
+    )
+    results = run_tasks(tasks, jobs=jobs, progress=progress)
     sweep = FrequencySweepResult()
-    for freq in frequencies_mhz:
-        if freq <= 0:
-            raise SynthesisError(f"frequency must be positive, got {freq}")
-        cfg = base.with_(frequency_mhz=float(freq))
-        if comm_spec.max_bandwidth > link_capacity_mbps(cfg.link_width_bits, freq):
-            # No single link can carry the largest flow: skip the point.
-            sweep.per_frequency[float(freq)] = SynthesisResult()
-            continue
-        tool = SunFloor3D(core_spec, comm_spec, library, cfg)
-        sweep.per_frequency[float(freq)] = tool.synthesize()
+    for freq, task_result in zip(freqs, results):
+        sweep.per_frequency[freq] = task_result.result
     return sweep
 
 
@@ -98,6 +126,9 @@ def sweep_alpha(
     alphas: Sequence[float],
     library: Optional[NocLibrary] = None,
     config: Optional[SynthesisConfig] = None,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> Dict[float, SynthesisResult]:
     """Sweep the PG weight parameter α of Def. 3.
 
@@ -106,13 +137,19 @@ def sweep_alpha(
     meet the latency constraints." Smaller α weights latency-critical flows
     more heavily during partitioning.
     """
+    values = [float(a) for a in alphas]
     base = config if config is not None else SynthesisConfig()
-    out: Dict[float, SynthesisResult] = {}
-    for alpha in alphas:
-        cfg = base.with_(alpha=float(alpha))
-        tool = SunFloor3D(core_spec, comm_spec, library, cfg)
-        out[float(alpha)] = tool.synthesize()
-    return out
+    # No feasibility skip here: α does not change link capacity, and the
+    # serial sweep always ran every point.
+    tasks = build_tasks(
+        core_spec, comm_spec, ParameterGrid(alphas=tuple(values)),
+        base, library, skip_infeasible=False,
+    )
+    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    return {
+        alpha: task_result.result
+        for alpha, task_result in zip(values, results)
+    }
 
 
 def sweep_link_widths(
@@ -121,6 +158,9 @@ def sweep_link_widths(
     widths_bits: Sequence[int],
     library: Optional[NocLibrary] = None,
     config: Optional[SynthesisConfig] = None,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> Dict[int, SynthesisResult]:
     """Sweep the link data width (an architectural parameter of Sec. IV).
 
@@ -132,18 +172,22 @@ def sweep_link_widths(
     a fixed TSV budget is to be modelled; this sweep keeps the configured
     ``max_ill`` constant and varies only the width.
     """
+    widths = [int(w) for w in widths_bits]
+    bad_widths = [w for w in widths if w <= 0]
+    if bad_widths:
+        raise SynthesisError(
+            f"link width must be positive, got {bad_widths[0]}"
+        )
     base = config if config is not None else SynthesisConfig()
-    out: Dict[int, SynthesisResult] = {}
-    for width in widths_bits:
-        if width <= 0:
-            raise SynthesisError(f"link width must be positive, got {width}")
-        cfg = base.with_(link_width_bits=int(width))
-        if comm_spec.max_bandwidth > link_capacity_mbps(width, cfg.frequency_mhz):
-            out[int(width)] = SynthesisResult()
-            continue
-        tool = SunFloor3D(core_spec, comm_spec, library, cfg)
-        out[int(width)] = tool.synthesize()
-    return out
+    tasks = build_tasks(
+        core_spec, comm_spec, ParameterGrid(link_widths_bits=tuple(widths)),
+        base, library,
+    )
+    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    return {
+        width: task_result.result
+        for width, task_result in zip(widths, results)
+    }
 
 
 def find_lowest_feasible_frequency(
@@ -152,10 +196,14 @@ def find_lowest_feasible_frequency(
     frequencies_mhz: Sequence[float],
     library: Optional[NocLibrary] = None,
     config: Optional[SynthesisConfig] = None,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> float:
     """The smallest swept frequency with at least one valid design point."""
     sweep = sweep_frequencies(
-        core_spec, comm_spec, sorted(frequencies_mhz), library, config
+        core_spec, comm_spec, sorted(frequencies_mhz), library, config,
+        jobs=jobs, progress=progress,
     )
     for freq in sweep.frequencies:
         if sweep.per_frequency[freq].points:

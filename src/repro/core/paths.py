@@ -21,6 +21,18 @@ this module finds a route for every traffic flow:
   switches* are inserted (Sec. VI: "these indirect switches help in reducing
   the number of ports needed in the direct switches").
 
+This is the hottest loop of the whole flow (one Dijkstra per flow per
+candidate switch count per architectural point), so the inner search runs
+on a :class:`_RoutingContext` that hoists every flow-invariant term out of
+the edge relaxation: switch-pair geometry, wire/TSV energies and static
+power are precomputed per ordered switch pair, the library model lookups
+that depend only on a switch size are memoised, and the hard INF threshold
+tests of Algorithm 3 run *before* any energy arithmetic so saturated edges
+exit early. The context produces bit-identical costs to the plain
+:func:`_edge_cost` evaluator (kept as the reference, and cross-checked by
+the regression tests against the frozen copy in
+:mod:`repro.engine.reference`).
+
 Raises :class:`~repro.errors.PathComputationError` when any flow cannot be
 routed — the caller (Algorithm 1 / 2 driver) treats the design point as
 unmet.
@@ -102,6 +114,181 @@ class _CostModel:
     capacity: float
 
 
+class _RoutingContext:
+    """Flow-invariant state for Algorithm 3's inner loop.
+
+    Everything that does not change while routing one design point is
+    precomputed here: the pair geometry never changes (switch positions are
+    only refined by the placement LP *after* routing), and model lookups
+    keyed on a switch size are pure functions of that size. Mutable state —
+    port counts, inter-layer link counts, link loads — is read live from the
+    topology on every evaluation, so committed routes are always visible.
+    """
+
+    __slots__ = (
+        "topology", "library", "config", "model",
+        "_pair_cache", "_switch_eps", "_energy_by_size", "_clock_delta",
+        "_min_ports", "_reuse_cap", "_max_ill", "_soft_max_ill",
+        "_max_size", "_soft_size", "_soft_on", "_soft_inf",
+    )
+
+    def __init__(
+        self,
+        topology: Topology,
+        library: NocLibrary,
+        config: SynthesisConfig,
+        model: _CostModel,
+    ) -> None:
+        self.topology = topology
+        self.library = library
+        self.config = config
+        self.model = model
+        #: (u, v) -> (move_energy_pj, open_static_mw, allowed, boundary_keys)
+        self._pair_cache: Dict[
+            Tuple[int, int], Tuple[float, float, bool, Tuple[Tuple[int, int], ...]]
+        ] = {}
+        self._switch_eps: List[Tuple[str, int]] = [
+            switch_ep(s.id) for s in topology.switches
+        ]
+        self._energy_by_size: Dict[int, float] = {}
+        self._clock_delta: Dict[int, float] = {}
+        self._min_ports = library.switch.min_ports
+        self._reuse_cap = model.capacity + 1e-9
+        self._max_ill = config.max_ill
+        self._soft_max_ill = model.soft_max_ill
+        self._max_size = model.max_switch_size
+        self._soft_size = model.soft_switch_size
+        self._soft_on = config.use_soft_thresholds
+        self._soft_inf = model.soft_inf
+
+    def switch_added(self) -> None:
+        """Register switches appended to the topology (indirect insertion)."""
+        for s in self.topology.switches[len(self._switch_eps):]:
+            self._switch_eps.append(switch_ep(s.id))
+
+    # -- memoised model lookups -------------------------------------------
+
+    def _traverse_energy(self, size: int) -> float:
+        """``switch.energy_per_flit_pj(max(size, min_ports))``, memoised."""
+        e = self._energy_by_size.get(size)
+        if e is None:
+            e = self.library.switch.energy_per_flit_pj(
+                max(size, self._min_ports)
+            )
+            self._energy_by_size[size] = e
+        return e
+
+    def _port_growth_mw(self, size: int) -> float:
+        """Marginal clock power of one extra port at ``size``, memoised."""
+        d = self._clock_delta.get(size)
+        if d is None:
+            freq = self.config.frequency_mhz
+            sw = self.library.switch
+            d = sw.clock_power_mw(size + 1, freq) - sw.clock_power_mw(size, freq)
+            self._clock_delta[size] = d
+        return d
+
+    def _pair(
+        self, u: int, v: int
+    ) -> Tuple[float, float, bool, Tuple[Tuple[int, int], ...]]:
+        pair = self._pair_cache.get((u, v))
+        if pair is None:
+            su = self.topology.switches[u]
+            sv = self.topology.switches[v]
+            planar = abs(su.x - sv.x) + abs(su.y - sv.y)
+            vlayers = abs(su.layer - sv.layer)
+            move_energy = self.library.link.energy_per_flit_pj(
+                planar
+            ) + self.library.tsv.energy_per_flit_pj(vlayers)
+            open_static = (
+                self.library.link.static_power_mw(planar)
+                + vlayers * self.library.tsv.static_mw_per_link
+            )
+            allowed = not (
+                self.config.adjacent_layer_links_only and vlayers >= 2
+            )
+            lo = min(su.layer, sv.layer)
+            hi = max(su.layer, sv.layer)
+            boundaries = tuple((b, b + 1) for b in range(lo, hi))
+            pair = (move_energy, open_static, allowed, boundaries)
+            self._pair_cache[(u, v)] = pair
+        return pair
+
+    # -- Algorithm 3 cost -------------------------------------------------
+
+    def edge_cost(
+        self, u: int, v: int, bandwidth: float, rate_mflits: float
+    ) -> Tuple[float, bool]:
+        """Cost of routing the flow across switches (u -> v).
+
+        Bit-identical to :func:`_edge_cost`, with the hard-threshold exits
+        taken before any energy arithmetic.
+        """
+        topo = self.topology
+        pair = self._pair_cache.get((u, v))
+        if pair is None:
+            pair = self._pair(u, v)
+        move_energy, open_static, allowed, boundaries = pair
+
+        sv = topo.switches[v]
+        sv_in = sv.in_ports
+        sv_size = sv_in if sv_in >= sv.out_ports else sv.out_ports
+        sv_energy = self._energy_by_size.get(sv_size)
+        if sv_energy is None:
+            sv_energy = self._traverse_energy(sv_size)
+
+        # Reuse an existing link when capacity allows: no new resources.
+        ids = topo._link_index.get((self._switch_eps[u], self._switch_eps[v]))
+        if ids:
+            links = topo.links
+            cap = self._reuse_cap
+            for lid in ids:
+                if links[lid].load_mbps + bandwidth <= cap:
+                    return rate_mflits * (move_energy + sv_energy) * 1e-3, False
+
+        # A new physical link is needed: Algorithm 3 constraint checks,
+        # cheapest (and most selective) first.
+        if not allowed:
+            return INF, True
+
+        soft = False
+        ill = topo.ill
+        for key in boundaries:
+            count = ill.get(key, 0)
+            if count >= self._max_ill:
+                return INF, True
+            if count >= self._soft_max_ill:
+                soft = True
+
+        su = topo.switches[u]
+        su_out = su.out_ports
+        if su_out + 1 > self._max_size:
+            return INF, True
+        if sv_in + 1 > self._max_size:
+            return INF, True
+        if su_out + 1 > self._soft_size or sv_in + 1 > self._soft_size:
+            soft = True
+
+        su_size = su.in_ports if su.in_ports >= su_out else su_out
+        min_p = self._min_ports
+        if su_size < min_p:
+            su_size = min_p
+        eff_v = sv_size if sv_size >= min_p else min_p
+        growth = self._clock_delta
+        growth_u = growth.get(su_size)
+        if growth_u is None:
+            growth_u = self._port_growth_mw(su_size)
+        growth_v = growth.get(eff_v)
+        if growth_v is None:
+            growth_v = self._port_growth_mw(eff_v)
+
+        traffic = rate_mflits * (move_energy + sv_energy) * 1e-3
+        cost = traffic + (open_static + growth_u + growth_v)
+        if soft and self._soft_on:
+            cost += self._soft_inf
+        return cost, True
+
+
 def compute_paths(
     topology: Topology,
     graph: CommGraph,
@@ -111,6 +298,7 @@ def compute_paths(
 ) -> None:
     """Route every flow of ``graph`` on ``topology`` (mutates the topology)."""
     model = _make_cost_model(topology, graph, library, config)
+    ctx = _RoutingContext(topology, library, config, model)
     cdg = ChannelDependencyGraph()
 
     if config.flow_order == "bandwidth_desc":
@@ -132,7 +320,7 @@ def compute_paths(
                 f"capacity {model.capacity:.1f} MB/s"
             )
         routed = _route_flow(
-            topology, graph, library, config, model, cdg,
+            topology, graph, library, config, model, ctx, cdg,
             src, dst, flow, core_centers,
         )
         while not routed:
@@ -144,8 +332,9 @@ def compute_paths(
                     f"no valid path for flow {src}->{dst} "
                     f"(bw {flow.bandwidth} MB/s, lat <= {flow.latency} cycles)"
                 )
+            ctx.switch_added()
             routed = _route_flow(
-                topology, graph, library, config, model, cdg,
+                topology, graph, library, config, model, ctx, cdg,
                 src, dst, flow, core_centers,
             )
 
@@ -203,7 +392,9 @@ def _edge_cost(
     """Cost of routing the flow across switches (u -> v).
 
     Returns (cost in mW-equivalents, needs_new_link). INF cost means the
-    edge is unusable (hard constraint of Algorithm 3).
+    edge is unusable (hard constraint of Algorithm 3). This is the plain
+    single-shot evaluator; :meth:`_RoutingContext.edge_cost` computes the
+    same values with the flow-invariant terms cached.
     """
     su = topology.switches[u]
     sv = topology.switches[v]
@@ -266,10 +457,7 @@ def _edge_cost(
 
 
 def _dijkstra(
-    topology: Topology,
-    library: NocLibrary,
-    config: SynthesisConfig,
-    model: _CostModel,
+    ctx: _RoutingContext,
     src_sw: int,
     dst_sw: int,
     bandwidth: float,
@@ -278,35 +466,37 @@ def _dijkstra(
     min_hop: bool = False,
 ) -> Optional[List[int]]:
     """Min-cost (or min-hop) path over the switch graph. None if none."""
-    n = len(topology.switches)
-    dist = {src_sw: 0.0}
-    prev: Dict[int, int] = {}
+    n = len(ctx.topology.switches)
+    dist = [INF] * n
+    dist[src_sw] = 0.0
+    prev = [-1] * n
+    done = [False] * n
+    reached = False
     heap: List[Tuple[float, int]] = [(0.0, src_sw)]
-    done: Set[int] = set()
+    edge_cost = ctx.edge_cost
 
     while heap:
         d, u = heapq.heappop(heap)
-        if u in done:
+        if done[u]:
             continue
         if u == dst_sw:
+            reached = True
             break
-        done.add(u)
+        done[u] = True
         for v in range(n):
-            if v == u or v in done or (u, v) in banned:
+            if v == u or done[v] or (u, v) in banned:
                 continue
-            cost, _ = _edge_cost(
-                topology, library, config, model, u, v, bandwidth, rate
-            )
+            cost, _ = edge_cost(u, v, bandwidth, rate)
             if cost == INF:
                 continue
             step = (1.0 + cost * 1e-9) if min_hop else cost
             nd = d + step
-            if nd < dist.get(v, INF):
+            if nd < dist[v]:
                 dist[v] = nd
                 prev[v] = u
                 heapq.heappush(heap, (nd, v))
 
-    if dst_sw not in dist:
+    if not reached and dist[dst_sw] == INF:
         return None
     path = [dst_sw]
     while path[-1] != src_sw:
@@ -348,6 +538,7 @@ def _route_flow(
     library: NocLibrary,
     config: SynthesisConfig,
     model: _CostModel,
+    ctx: _RoutingContext,
     cdg: ChannelDependencyGraph,
     src: int,
     dst: int,
@@ -373,8 +564,7 @@ def _route_flow(
             path_switches: Optional[List[int]] = [src_sw]
         else:
             path_switches = _dijkstra(
-                topology, library, config, model, src_sw, dst_sw,
-                bandwidth, rate, banned,
+                ctx, src_sw, dst_sw, bandwidth, rate, banned,
             )
         if path_switches is None:
             return False
@@ -387,8 +577,7 @@ def _route_flow(
         ):
             alt = (
                 _dijkstra(
-                    topology, library, config, model, src_sw, dst_sw,
-                    bandwidth, rate, banned, min_hop=True,
+                    ctx, src_sw, dst_sw, bandwidth, rate, banned, min_hop=True,
                 )
                 if src_sw != dst_sw
                 else [src_sw]

@@ -1,0 +1,57 @@
+"""``repro.engine`` — the parallel design-space exploration engine.
+
+The outer loop of Fig. 3 sweeps architectural parameters (frequency, the
+PG weight α, link width, switch-count range) and re-runs the full
+synthesis flow at every point. Those points are independent, so this
+package fans them across a process pool:
+
+* :mod:`repro.engine.tasks` — pickling-safe task descriptors and the
+  worker entry point;
+* :mod:`repro.engine.executor` — the pool executor: fork-aware, with
+  deterministic result merging, progress callbacks and a graceful serial
+  fallback;
+* :mod:`repro.engine.grid` — :class:`ParameterGrid` /
+  :class:`GridPoint`, the design-space cross product with up-front
+  validation;
+* :mod:`repro.engine.profile` — wall-clock timers backing
+  ``BENCH_engine.json``;
+* :mod:`repro.engine.reference` — the frozen pre-optimisation routing
+  baseline (regression + benchmarks);
+* :mod:`repro.engine.benchmark` — the scaling benchmark shared by the CLI
+  and the ``benchmarks/`` harness (imported lazily; not re-exported here).
+
+Quickstart::
+
+    from repro.engine import ParameterGrid, build_tasks, run_tasks
+
+    grid = ParameterGrid(frequencies_mhz=(300, 400, 500), alphas=(0.4, 0.7))
+    tasks = build_tasks(core_spec, comm_spec, grid, SynthesisConfig())
+    results = run_tasks(tasks, jobs=0)   # 0/None = one worker per CPU
+    best = min(
+        (p for r in results for p in r.result.points),
+        key=lambda p: p.total_power_mw,
+    )
+
+The higher-level sweeps (:func:`repro.core.frequency_sweep.sweep_frequencies`
+and friends) run on this engine and expose the same ``jobs`` / ``progress``
+knobs.
+"""
+
+from repro.engine.executor import ProgressFn, resolve_jobs, run_tasks
+from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
+from repro.engine.profile import ProfileRecorder, Timer
+from repro.engine.tasks import SynthesisTask, TaskResult, run_task
+
+__all__ = [
+    "GridPoint",
+    "ParameterGrid",
+    "ProfileRecorder",
+    "ProgressFn",
+    "SynthesisTask",
+    "TaskResult",
+    "Timer",
+    "build_tasks",
+    "resolve_jobs",
+    "run_task",
+    "run_tasks",
+]

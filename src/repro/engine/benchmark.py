@@ -1,0 +1,189 @@
+"""The engine scaling benchmark: sweep parallelism + routing hot path.
+
+Measures the two claims this subsystem makes and writes them to
+``BENCH_engine.json`` so the perf trajectory is tracked PR over PR:
+
+* **sweep scaling** — a frequency × α grid over a D_26-style synthetic
+  design, run serially and on a worker pool; reports wall-clock per
+  synthesis point and the sweep-level speedup, and checks the merged
+  design points are identical (order-normalised);
+* **routing hot path** — ``compute_paths`` (optimised) versus the frozen
+  naive baseline of :mod:`repro.engine.reference` on the same design,
+  single-threaded; reports the speedup and checks route identity.
+
+Shared by ``python -m repro.cli bench`` and
+``benchmarks/bench_engine_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.synthetic import synthetic_benchmark
+from repro.core.config import SynthesisConfig
+from repro.core.paths import build_topology_skeleton, compute_paths
+from repro.core.phase1 import phase1_candidate
+from repro.engine.executor import resolve_jobs, run_tasks
+from repro.engine.grid import ParameterGrid, build_tasks
+from repro.engine.profile import ProfileRecorder
+from repro.engine.reference import naive_compute_paths
+from repro.errors import PathComputationError
+from repro.noc.export import design_point_to_dict, topology_to_dict
+
+#: Default output file, tracked at the repo root.
+DEFAULT_OUTPUT = "BENCH_engine.json"
+
+#: The D_26-style synthetic design both measurements run on.
+_DESIGN_CORES = 26
+_DESIGN_PATTERN = "distributed"
+_DESIGN_LAYERS = 3
+_DESIGN_SEED = 3
+
+
+def _design():
+    return synthetic_benchmark(
+        _DESIGN_CORES, _DESIGN_PATTERN, num_layers=_DESIGN_LAYERS,
+        seed=_DESIGN_SEED, floorplan_moves=800,
+    )
+
+
+def _sweep_grid(quick: bool) -> ParameterGrid:
+    if quick:
+        return ParameterGrid(
+            frequencies_mhz=(400.0, 500.0, 600.0, 700.0),
+            alphas=(0.5, 0.9),
+        )
+    return ParameterGrid(
+        frequencies_mhz=(300.0, 400.0, 500.0, 600.0, 700.0, 800.0),
+        alphas=(0.3, 0.6, 0.9),
+    )
+
+
+def _canonical(results) -> List[Dict]:
+    """Order-normalised serialisation of a merged sweep for comparison."""
+    out = []
+    for task_result in results:
+        points = sorted(
+            (design_point_to_dict(p) for p in task_result.result.points),
+            key=lambda d: (d["switch_count"], d["metrics"]["total_power_mw"]),
+        )
+        out.append({"key": str(task_result.key), "points": points})
+    return out
+
+
+def run_engine_benchmark(
+    *,
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    output: Optional[str] = DEFAULT_OUTPUT,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run both measurements; returns (and optionally writes) the report."""
+    say = log if log is not None else (lambda _msg: None)
+    recorder = ProfileRecorder()
+    # Honour an explicit worker count even above the visible CPU count (the
+    # sweep-scaling claim is about a 4-worker pool); keep >= 2 so the
+    # parallel leg actually exercises the pool.
+    workers = max(2, resolve_jobs(jobs))
+
+    bench = _design()
+    base = SynthesisConfig(max_ill=16, switch_count_range=(2, 8))
+    grid = _sweep_grid(quick)
+    tasks = build_tasks(bench.core_spec_3d, bench.comm_spec, grid, base)
+    say(f"sweep: {len(tasks)} synthesis points on {bench.name}")
+
+    # Warm lazy imports (scipy LP backend etc.) so the serial baseline's
+    # first point is not inflated against the parallel leg.
+    run_tasks(tasks[:1], jobs=1)
+    with recorder.time("sweep_serial", points=len(tasks)):
+        serial = run_tasks(tasks, jobs=1)
+    with recorder.time("sweep_parallel", jobs=workers):
+        parallel = run_tasks(tasks, jobs=workers)
+    serial_s = recorder.best_s("sweep_serial")
+    parallel_s = recorder.best_s("sweep_parallel")
+    identical = _canonical(serial) == _canonical(parallel)
+    sweep_speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    say(
+        f"sweep: serial {serial_s:.2f}s, parallel({workers}) {parallel_s:.2f}s "
+        f"-> {sweep_speedup:.2f}x (identical points: {identical})"
+    )
+
+    paths_report = _bench_compute_paths(bench, recorder, say)
+
+    report = {
+        "benchmark": "engine-scaling",
+        "design": bench.name,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "sweep": {
+            "grid_points": len(tasks),
+            "jobs": workers,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "serial_per_point_s": [
+                round(r.elapsed_s, 4) for r in serial
+            ],
+            "speedup": round(sweep_speedup, 3),
+            "identical_points": identical,
+            "valid_points": sum(len(r.result.points) for r in serial),
+        },
+        "compute_paths": paths_report,
+    }
+    if output:
+        recorder.write_json(output, extra=report)
+        say(f"wrote {output}")
+    return report
+
+
+def _bench_compute_paths(
+    bench, recorder: ProfileRecorder, say: Callable[[str], None]
+) -> Dict:
+    """Single-threaded optimised vs naive routing on the synthetic design."""
+    config = SynthesisConfig(max_ill=16)
+    from repro.core.synthesis import SunFloor3D
+
+    tool = SunFloor3D(bench.core_spec_3d, bench.comm_spec, config=config)
+    graph, library = tool.graph, tool.library
+    centers = tool._core_centers
+    counts = range(3, 11)
+    assignments = [phase1_candidate(graph, config, c) for c in counts]
+
+    def route_all(router) -> List[Dict]:
+        topologies = []
+        for assignment in assignments:
+            try:
+                topo = build_topology_skeleton(
+                    assignment, graph, library, config, centers
+                )
+                router(topo, graph, library, config, centers)
+                topologies.append(topology_to_dict(topo))
+            except PathComputationError:
+                topologies.append(None)
+        return topologies
+
+    route_all(compute_paths)  # warm both code paths and the benchmark caches
+    repeats = 5
+    optimized = naive = None
+    for _ in range(repeats):
+        with recorder.time("paths_optimized", candidates=len(assignments)):
+            optimized = route_all(compute_paths)
+        with recorder.time("paths_naive", candidates=len(assignments)):
+            naive = route_all(naive_compute_paths)
+    optimized_s = recorder.best_s("paths_optimized")
+    naive_s = recorder.best_s("paths_naive")
+    speedup = naive_s / optimized_s if optimized_s > 0 else float("inf")
+    identical = optimized == naive
+    say(
+        f"compute_paths: naive {naive_s * 1e3:.1f}ms, optimized "
+        f"{optimized_s * 1e3:.1f}ms -> {speedup:.2f}x "
+        f"(identical routes: {identical})"
+    )
+    return {
+        "flows": len(graph.edges),
+        "switch_candidates": len(assignments),
+        "naive_s": round(naive_s, 5),
+        "optimized_s": round(optimized_s, 5),
+        "speedup": round(speedup, 3),
+        "routes_identical": identical,
+    }

@@ -1,0 +1,202 @@
+"""The parallel sweep executor: fan tasks across a process pool.
+
+The architectural sweep of Fig. 3 is embarrassingly parallel — every
+(frequency, α, link width, switch-count range) point runs the full
+synthesis flow independently — so the executor's job is plumbing, done
+carefully:
+
+* **fork-aware worker pool** — on platforms with ``fork`` the workers
+  inherit the parent's imported modules and the task's specs via
+  copy-on-write, so per-task pickling cost is just the small spec/config
+  dataclasses;
+* **deterministic merging** — results are returned in *submission order*
+  regardless of completion order, and a failing task re-raises its error
+  exactly where a serial loop would have (first failure in task order);
+* **graceful serial fallback** — ``jobs=1``, single-task lists and pool
+  creation failures (sandboxed environments without ``/dev/shm``, missing
+  ``multiprocessing`` primitives) degrade to the plain in-process loop
+  that produces identical results; a pool broken *mid-run* (a worker
+  OOM-killed) keeps every completed result and finishes only the missing
+  tasks in-process;
+* **progress callbacks** — ``progress(done, total, key)`` fires in the
+  parent as points finish, for CLI spinners and logging.
+
+``jobs`` resolution: ``None`` or ``0`` → ``$REPRO_ENGINE_JOBS`` if set,
+else ``os.cpu_count()``; ``1`` → serial; ``n >= 2`` → pool of ``n``
+workers. Negative values raise :class:`~repro.errors.EngineError`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence
+
+from repro.engine.tasks import SynthesisTask, TaskResult, run_task
+from repro.errors import EngineError
+
+#: Progress callback signature: (completed_count, total, key_just_done).
+ProgressFn = Callable[[int, int, object], None]
+
+_JOBS_ENV = "REPRO_ENGINE_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Resolve a ``jobs`` request to a concrete worker count (>= 1)."""
+    if jobs is None or jobs == 0:
+        env = os.environ.get(_JOBS_ENV)
+        if env is not None:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise EngineError(
+                    f"${_JOBS_ENV} must be an integer, got {env!r}"
+                )
+            if jobs <= 0:
+                raise EngineError(
+                    f"${_JOBS_ENV} must be positive, got {jobs}"
+                )
+            return jobs
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise EngineError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    tasks: Sequence[SynthesisTask],
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+    chunk_size: int = 1,
+    raise_errors: bool = True,
+) -> List[TaskResult]:
+    """Run every task and return results in submission order.
+
+    Args:
+        tasks: Task descriptors (see :mod:`repro.engine.tasks`).
+        jobs: Worker processes; ``1`` = serial (the default, so library
+            callers opt in to parallelism), ``None``/``0`` = auto.
+        progress: Optional callback fired after each completed point.
+        chunk_size: Tasks per worker round-trip; raise above 1 when points
+            are so fast that pickling dominates.
+        raise_errors: Re-raise the first (in task order) captured error.
+            With ``False`` the caller inspects ``TaskResult.error`` itself.
+    """
+    if chunk_size < 1:
+        raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
+    tasks = list(tasks)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(tasks) <= 1:
+        return _run_serial(tasks, progress, raise_errors)
+
+    results = _run_parallel(tasks, workers, progress, chunk_size)
+    if results is None:  # pool could not be created or broke mid-run
+        return _run_serial(tasks, progress, raise_errors)
+    if raise_errors:
+        _raise_first(results)
+    return results
+
+
+# --------------------------------------------------------------------------
+# internals
+# --------------------------------------------------------------------------
+
+def _run_serial(
+    tasks: Sequence[SynthesisTask],
+    progress: Optional[ProgressFn],
+    raise_errors: bool,
+) -> List[TaskResult]:
+    results: List[TaskResult] = []
+    total = len(tasks)
+    for i, task in enumerate(tasks):
+        result = run_task(task)
+        if raise_errors and result.error is not None:
+            raise result.error
+        results.append(result)
+        if progress is not None:
+            progress(i + 1, total, task.key)
+    return results
+
+
+def _run_chunk(chunk: List[SynthesisTask]) -> List[TaskResult]:
+    """Worker entry point for chunked submission (top level: picklable)."""
+    return [run_task(task) for task in chunk]
+
+
+def _pool_context():
+    """A fork multiprocessing context when available (cheap workers), else
+    the platform default."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def _run_parallel(
+    tasks: List[SynthesisTask],
+    workers: int,
+    progress: Optional[ProgressFn],
+    chunk_size: int,
+) -> Optional[List[TaskResult]]:
+    """Fan out over a process pool; None signals 'fall back to serial'."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:
+        return None
+
+    chunks = [
+        tasks[i:i + chunk_size] for i in range(0, len(tasks), chunk_size)
+    ]
+    total = len(tasks)
+    slots: List[Optional[List[TaskResult]]] = [None] * len(chunks)
+    done = 0
+
+    def note(chunk_results: List[TaskResult]) -> None:
+        nonlocal done
+        if progress is not None:
+            for result in chunk_results:
+                done += 1
+                progress(done, total, result.key)
+        else:
+            done += len(chunk_results)
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            mp_context=_pool_context(),
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, chunk): idx
+                for idx, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                idx = futures[future]
+                slots[idx] = future.result()
+                note(slots[idx])
+    except (OSError, PermissionError):
+        # No usable multiprocessing in this environment. Nothing completed
+        # (pool creation failed): let the caller fall back to serial.
+        return None
+    except BrokenProcessPool:
+        # A worker died mid-run (OOM kill, crash). Keep what completed and
+        # finish only the missing chunks in-process — no task runs twice
+        # and the progress counter stays monotonic.
+        for idx, chunk_results in enumerate(slots):
+            if chunk_results is None:
+                slots[idx] = _run_chunk(chunks[idx])
+                note(slots[idx])
+
+    merged: List[TaskResult] = []
+    for chunk_results in slots:
+        assert chunk_results is not None
+        merged.extend(chunk_results)
+    return merged
+
+
+def _raise_first(results: Sequence[TaskResult]) -> None:
+    for result in results:
+        if result.error is not None:
+            raise result.error

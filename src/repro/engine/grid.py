@@ -1,0 +1,191 @@
+"""Architectural parameter grids: the design space of the Fig. 3 outer loop.
+
+"The NoC architectural parameters, such as frequency of operation, are
+varied and the topology design process is repeated for each architectural
+point" (Sec. IV). A :class:`ParameterGrid` names the swept dimensions —
+frequency, the PG weight α of Def. 3, link width, and the switch-count
+range — and expands to the cross product of :class:`GridPoint`\\ s; empty
+dimensions inherit the base configuration's value.
+
+Validation happens *up front* for every value of every dimension, so an
+invalid parameter aborts before any synthesis point has been paid for —
+not halfway through a sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import SynthesisConfig
+from repro.engine.tasks import SynthesisTask
+from repro.errors import SynthesisError
+from repro.models.library import NocLibrary
+from repro.spec.comm_spec import CommSpec
+from repro.spec.core_spec import CoreSpec
+from repro.units import link_capacity_mbps
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One point of the architectural design space.
+
+    ``None`` fields keep the base configuration's value, so a pure
+    frequency sweep produces points like ``GridPoint(frequency_mhz=400.0)``.
+    """
+
+    frequency_mhz: Optional[float] = None
+    alpha: Optional[float] = None
+    link_width_bits: Optional[int] = None
+    switch_count_range: Optional[Tuple[int, int]] = None
+
+    def apply(self, base: SynthesisConfig) -> SynthesisConfig:
+        """The base configuration with this point's overrides applied."""
+        overrides = {}
+        if self.frequency_mhz is not None:
+            overrides["frequency_mhz"] = float(self.frequency_mhz)
+        if self.alpha is not None:
+            overrides["alpha"] = float(self.alpha)
+        if self.link_width_bits is not None:
+            overrides["link_width_bits"] = int(self.link_width_bits)
+        if self.switch_count_range is not None:
+            overrides["switch_count_range"] = tuple(self.switch_count_range)
+        return base.with_(**overrides) if overrides else base
+
+    def label(self) -> str:
+        parts = []
+        if self.frequency_mhz is not None:
+            parts.append(f"f={self.frequency_mhz:g}MHz")
+        if self.alpha is not None:
+            parts.append(f"alpha={self.alpha:g}")
+        if self.link_width_bits is not None:
+            parts.append(f"w={self.link_width_bits}b")
+        if self.switch_count_range is not None:
+            lo, hi = self.switch_count_range
+            parts.append(f"sw={lo}:{hi}")
+        return " ".join(parts) if parts else "base"
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Cross product of swept architectural parameters.
+
+    Empty dimensions are not swept (the base config value is used), so the
+    classic frequency sweep is ``ParameterGrid(frequencies_mhz=(200, 400))``
+    and a frequency × α exploration adds ``alphas=(0.3, 0.7)``.
+    """
+
+    frequencies_mhz: Tuple[float, ...] = ()
+    alphas: Tuple[float, ...] = ()
+    link_widths_bits: Tuple[int, ...] = ()
+    switch_count_ranges: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalise sequences to tuples so grids hash and pickle cleanly.
+        object.__setattr__(
+            self, "frequencies_mhz", tuple(self.frequencies_mhz)
+        )
+        object.__setattr__(self, "alphas", tuple(self.alphas))
+        object.__setattr__(
+            self, "link_widths_bits", tuple(self.link_widths_bits)
+        )
+        object.__setattr__(
+            self,
+            "switch_count_ranges",
+            tuple(tuple(r) for r in self.switch_count_ranges),
+        )
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for dim in (
+            self.frequencies_mhz,
+            self.alphas,
+            self.link_widths_bits,
+            self.switch_count_ranges,
+        ):
+            n *= max(1, len(dim))
+        return n
+
+    def validate(self) -> None:
+        """Check every value of every dimension before any synthesis runs."""
+        bad: List[str] = []
+        for freq in self.frequencies_mhz:
+            if freq <= 0:
+                bad.append(f"frequency must be positive, got {freq}")
+        for alpha in self.alphas:
+            if not 0.0 <= alpha <= 1.0:
+                bad.append(f"alpha must be in [0, 1], got {alpha}")
+        for width in self.link_widths_bits:
+            if width <= 0:
+                bad.append(f"link width must be positive, got {width}")
+        for rng in self.switch_count_ranges:
+            lo, hi = rng
+            if lo < 1 or hi < lo:
+                bad.append(f"invalid switch_count_range {rng}")
+        if bad:
+            raise SynthesisError(
+                "invalid sweep grid: " + "; ".join(bad)
+            )
+
+    def points(self) -> List[GridPoint]:
+        """All grid points, in deterministic row-major order."""
+        self.validate()
+        freqs: Sequence = self.frequencies_mhz or (None,)
+        alphas: Sequence = self.alphas or (None,)
+        widths: Sequence = self.link_widths_bits or (None,)
+        ranges: Sequence = self.switch_count_ranges or (None,)
+        return [
+            GridPoint(
+                frequency_mhz=f, alpha=a, link_width_bits=w,
+                switch_count_range=r,
+            )
+            for f, a, w, r in itertools.product(freqs, alphas, widths, ranges)
+        ]
+
+
+def build_tasks(
+    core_spec: CoreSpec,
+    comm_spec: CommSpec,
+    grid: ParameterGrid,
+    base_config: Optional[SynthesisConfig] = None,
+    library: Optional[NocLibrary] = None,
+    *,
+    skip_infeasible: bool = True,
+) -> List[SynthesisTask]:
+    """Expand a grid into engine tasks for one design.
+
+    With ``skip_infeasible`` (the default, matching the serial sweeps'
+    behaviour) a point whose link capacity cannot carry the largest single
+    flow is marked ``skip`` and merges as an empty result instead of
+    burning a worker on a guaranteed-unroutable design.
+    """
+    base = base_config if base_config is not None else SynthesisConfig()
+    tasks: List[SynthesisTask] = []
+    for point in grid.points():
+        config = point.apply(base)
+        skip = False
+        reason = ""
+        if skip_infeasible:
+            capacity = link_capacity_mbps(
+                config.link_width_bits, config.frequency_mhz
+            )
+            if comm_spec.max_bandwidth > capacity:
+                skip = True
+                reason = (
+                    f"largest flow ({comm_spec.max_bandwidth} MB/s) exceeds "
+                    f"link capacity ({capacity:.1f} MB/s)"
+                )
+        tasks.append(
+            SynthesisTask(
+                key=point,
+                core_spec=core_spec,
+                comm_spec=comm_spec,
+                config=config,
+                library=library,
+                skip=skip,
+                skip_reason=reason,
+            )
+        )
+    return tasks

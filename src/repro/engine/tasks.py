@@ -1,0 +1,99 @@
+"""Pickling-safe task descriptors for the parallel sweep engine.
+
+A :class:`SynthesisTask` is one architectural point of the Fig. 3 outer
+loop: a (core spec, communication spec, configuration) triple plus an
+opaque ``key`` the caller uses to file the merged result. Tasks are plain
+frozen dataclasses built only from the spec/config/library value objects,
+so they cross a ``ProcessPoolExecutor`` boundary untouched — no open file
+handles, no RNG state, no references back into the parent's topology
+objects.
+
+Infeasible points (a single flow exceeding link capacity) are marked
+``skip=True`` at task-build time and short-circuit to an empty
+:class:`~repro.core.design_point.SynthesisResult` without paying a worker
+round-trip, mirroring the serial sweeps' behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.core.config import SynthesisConfig
+from repro.core.design_point import SynthesisResult
+from repro.models.library import NocLibrary
+from repro.spec.comm_spec import CommSpec
+from repro.spec.core_spec import CoreSpec
+
+
+@dataclass(frozen=True)
+class SynthesisTask:
+    """One synthesis point of an architectural sweep.
+
+    Attributes:
+        key: Caller-chosen hashable identifier (e.g. ``("frequency", 400.0)``
+            or a :class:`~repro.engine.grid.GridPoint`) used to merge results
+            deterministically.
+        core_spec: Core floorplan/layer specification.
+        comm_spec: Traffic specification.
+        config: Fully resolved configuration for this point (the sweep
+            parameter already applied via ``SynthesisConfig.with_``).
+        library: Component library; ``None`` selects the default library in
+            the worker (cheaper to pickle).
+        skip: Pre-determined infeasible point — the engine returns an empty
+            result without running synthesis.
+        skip_reason: Human-readable note for reports/logs.
+    """
+
+    key: Hashable
+    core_spec: CoreSpec
+    comm_spec: CommSpec
+    config: SynthesisConfig
+    library: Optional[NocLibrary] = None
+    skip: bool = False
+    skip_reason: str = ""
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task: a result or a captured error, never both.
+
+    Workers never raise across the process boundary; errors are captured so
+    the executor can re-raise them *deterministically* (first failing task
+    in submission order, exactly like a serial loop) instead of in
+    completion order.
+    """
+
+    key: Hashable
+    result: Optional[SynthesisResult] = None
+    error: Optional[BaseException] = None
+    elapsed_s: float = 0.0
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_task(task: SynthesisTask) -> TaskResult:
+    """Execute one synthesis task (worker entry point — must stay
+    importable at module top level for pickling)."""
+    import time
+
+    if task.skip:
+        return TaskResult(key=task.key, result=SynthesisResult(), skipped=True)
+    start = time.perf_counter()
+    try:
+        from repro.core.synthesis import SunFloor3D
+
+        tool = SunFloor3D(
+            task.core_spec, task.comm_spec, task.library, task.config
+        )
+        result = tool.synthesize()
+    except BaseException as exc:  # re-raised in the parent, in task order
+        return TaskResult(
+            key=task.key, error=exc, elapsed_s=time.perf_counter() - start
+        )
+    return TaskResult(
+        key=task.key, result=result, elapsed_s=time.perf_counter() - start
+    )

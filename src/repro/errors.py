@@ -39,3 +39,7 @@ class UnboundedLPError(LPError):
 
 class FloorplanError(ReproError):
     """A floorplanning step failed (overlap removal, insertion, legality)."""
+
+
+class EngineError(ReproError):
+    """The parallel sweep engine was misconfigured or a worker failed."""

@@ -11,6 +11,17 @@ Message-dependent deadlocks are removed by keeping a *separate* CDG per
 message class (request / response): dependencies between classes are broken
 at the network interfaces (consumption-assumption per class), so acyclicity
 per class suffices.
+
+The tentative-cycle query is the routing hot path (it runs once per flow,
+plus once per deadlock retry), so the CDG is *indexed*: alongside the
+adjacency it maintains a topological order of every link vertex, updated
+incrementally on :meth:`add_path` (Pearce-Kelly style region reordering).
+:meth:`creates_cycle` then answers most queries with order comparisons
+alone — a route's dependency chain can only close a cycle if the existing
+graph reaches *backwards* along the chain, which the order rules out — and
+falls back to an order-bounded DFS otherwise. The pre-optimisation
+rebuild-and-search variant is preserved verbatim in
+:mod:`repro.engine.reference` for regression benchmarks.
 """
 
 from __future__ import annotations
@@ -19,11 +30,21 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 
 class ChannelDependencyGraph:
-    """Incrementally grown CDG with tentative-cycle queries."""
+    """Incrementally grown CDG with indexed tentative-cycle queries."""
 
     def __init__(self) -> None:
         # message class -> adjacency: link id -> set of successor link ids.
         self._succ: Dict[Hashable, Dict[int, Set[int]]] = {}
+        # message class -> reverse adjacency (needed by the order maintenance).
+        self._pred: Dict[Hashable, Dict[int, Set[int]]] = {}
+        # message class -> topological index of every known link vertex.
+        # Invariant (while the class is acyclic): every edge (u, v) of
+        # ``_succ`` has ``_order[u] < _order[v]``.
+        self._order: Dict[Hashable, Dict[int, int]] = {}
+        # message classes whose graph is (through misuse of add_path)
+        # cyclic: the order invariant is abandoned and queries fall back to
+        # a full search.
+        self._cyclic: Set[Hashable] = set()
 
     def classes(self) -> List[Hashable]:
         return sorted(self._succ, key=str)
@@ -40,33 +61,167 @@ class ChannelDependencyGraph:
         """Record the dependencies of a route. Caller must have verified
         acyclicity (see :meth:`creates_cycle`)."""
         adj = self._succ.setdefault(message_class, {})
+        pred = self._pred.setdefault(message_class, {})
+        order = self._order.setdefault(message_class, {})
         for u, v in self._path_edges(link_ids):
+            if v in adj.get(u, ()):
+                continue  # dependency already present
             adj.setdefault(u, set()).add(v)
+            pred.setdefault(v, set()).add(u)
+            if message_class not in self._cyclic:
+                self._insert_ordered(message_class, order, adj, pred, u, v)
 
     def creates_cycle(
         self, link_ids: Sequence[int], message_class: Hashable
     ) -> bool:
         """Would adding this route's dependencies close a cycle?
 
-        The check is tentative: the CDG is left unchanged.
+        The check is tentative: the CDG is left unchanged. A route
+        contributes a *chain* of dependencies ``u0 -> u1 -> ... -> uk``; the
+        combined graph is cyclic iff the chain revisits a vertex, or the
+        existing graph has a path from a later chain vertex back to an
+        earlier one. The topological order bounds that backwards search.
         """
-        new_edges = self._path_edges(link_ids)
-        if not new_edges:
+        nodes = list(link_ids)
+        if len(nodes) < 2:
             return False
+        if message_class in self._cyclic:
+            # The invariant is gone; any addition keeps the graph cyclic,
+            # but stay faithful to the legacy semantics: a cycle counts only
+            # if reachable from the new edges' sources.
+            return self._legacy_creates_cycle(nodes, message_class)
+
         adj = self._succ.get(message_class, {})
-        combined: Dict[int, Set[int]] = {u: set(vs) for u, vs in adj.items()}
-        for u, v in new_edges:
-            combined.setdefault(u, set()).add(v)
-        start_nodes = {u for u, _ in new_edges}
-        return _has_cycle(combined, start_nodes)
+        order = self._order.get(message_class, {})
+        targets: Set[int] = {nodes[0]}
+        max_target_order = order.get(nodes[0], -1)
+        for node in nodes[1:]:
+            if node in targets:
+                return True  # the chain itself revisits a vertex
+            # An existing path node -> t implies order[node] < order[t]:
+            # skip the search when the order already rules it out.
+            node_order = order.get(node)
+            if (
+                node_order is not None
+                and node_order < max_target_order
+                and self._reaches(adj, order, node, targets, max_target_order)
+            ):
+                return True
+            targets.add(node)
+            node_order = -1 if node_order is None else node_order
+            if node_order > max_target_order:
+                max_target_order = node_order
+        return False
 
     def has_cycle(self, message_class: Hashable) -> bool:
-        adj = self._succ.get(message_class, {})
-        return _has_cycle(adj, set(adj))
+        if message_class in self._cyclic:
+            return True
+        # While the order invariant holds the graph is acyclic by
+        # construction; double-checking would rebuild the legacy search.
+        return False
 
     def is_deadlock_free(self) -> bool:
         """True if every message class's CDG is acyclic."""
         return not any(self.has_cycle(cls) for cls in self._succ)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _reaches(
+        adj: Dict[int, Set[int]],
+        order: Dict[int, int],
+        start: int,
+        targets: Set[int],
+        max_target_order: int,
+    ) -> bool:
+        """Is any vertex of ``targets`` reachable from ``start``?
+
+        Only vertices with topological index <= ``max_target_order`` can lie
+        on such a path, which keeps the search inside the affected region.
+        """
+        stack = [start]
+        seen = {start}
+        while stack:
+            node = stack.pop()
+            for nxt in adj.get(node, ()):
+                if nxt in targets:
+                    return True
+                if nxt in seen:
+                    continue
+                if order.get(nxt, -1) >= max_target_order:
+                    continue  # past every target in topological order
+                seen.add(nxt)
+                stack.append(nxt)
+        return False
+
+    def _insert_ordered(
+        self,
+        message_class: Hashable,
+        order: Dict[int, int],
+        adj: Dict[int, Set[int]],
+        pred: Dict[int, Set[int]],
+        u: int,
+        v: int,
+    ) -> None:
+        """Restore the topological order after inserting edge (u, v)."""
+        if u not in order:
+            order[u] = len(order)
+        if v not in order:
+            order[v] = len(order)
+        lb, ub = order[v], order[u]
+        if ub < lb:
+            return  # order already consistent
+        if u == v:
+            self._cyclic.add(message_class)
+            return
+        # Affected region (Pearce-Kelly): vertices reachable forward from v
+        # with index <= order[u], and backward from u with index >= order[v].
+        forward = self._bounded_dfs(adj, order, v, ub, upper=True)
+        if u in forward:
+            self._cyclic.add(message_class)
+            return
+        backward = self._bounded_dfs(pred, order, u, lb, upper=False)
+        # Reassign the region's indices: backward block first, then forward.
+        affected = sorted(backward, key=order.__getitem__) + sorted(
+            forward, key=order.__getitem__
+        )
+        slots = sorted(order[node] for node in affected)
+        for node, slot in zip(affected, slots):
+            order[node] = slot
+
+    @staticmethod
+    def _bounded_dfs(
+        adj: Dict[int, Set[int]],
+        order: Dict[int, int],
+        start: int,
+        bound: int,
+        *,
+        upper: bool,
+    ) -> Set[int]:
+        """Vertices reachable from ``start`` with index <= / >= ``bound``."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adj.get(node, ()):
+                if nxt in seen:
+                    continue
+                idx = order.get(nxt)
+                if idx is None or (idx > bound if upper else idx < bound):
+                    continue
+                seen.add(nxt)
+                stack.append(nxt)
+        return seen
+
+    def _legacy_creates_cycle(
+        self, link_ids: Sequence[int], message_class: Hashable
+    ) -> bool:
+        new_edges = self._path_edges(link_ids)
+        adj = self._succ.get(message_class, {})
+        combined: Dict[int, Set[int]] = {x: set(vs) for x, vs in adj.items()}
+        for a, b in new_edges:
+            combined.setdefault(a, set()).add(b)
+        return _has_cycle(combined, {a for a, _ in new_edges})
 
 
 def _has_cycle(adj: Dict[int, Set[int]], start_nodes: Iterable[int]) -> bool:

@@ -57,6 +57,66 @@ class TestSynthCommand:
         assert rc == 1
 
 
+class TestSweepCommand:
+    def test_sweep_frequencies_serial(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "sweep", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--max-ill", "10", "--switches", "2:3",
+            "--frequencies", "200,400", "--jobs", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweeping 2 design point(s)" in out
+        assert "best design point over the grid" in out
+
+    def test_sweep_parallel_grid(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "sweep", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--max-ill", "10", "--switches", "2:3",
+            "--frequencies", "300,400", "--alphas", "0.4,0.8",
+            "--jobs", "2", "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweeping 4 design point(s)" in out
+
+    def test_sweep_infeasible_grid_returns_one(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "sweep", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--frequencies", "10", "--jobs", "1", "--quiet",
+        ])
+        assert rc == 1
+        assert "no valid design points" in capsys.readouterr().out
+
+    def test_sweep_bad_list_errors(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "sweep", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--frequencies", "abc",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_fig1(self, capsys):
         assert main(["experiment", "fig1"]) == 0

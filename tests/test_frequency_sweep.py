@@ -4,12 +4,14 @@ import pytest
 
 from repro.core.config import SynthesisConfig
 from repro.core.frequency_sweep import (
+    FrequencySweepResult,
     find_lowest_feasible_frequency,
     minimum_feasible_frequency,
     sweep_frequencies,
     sweep_link_widths,
 )
 from repro.errors import SynthesisError
+from repro.noc.export import design_point_to_dict
 
 
 @pytest.fixture
@@ -79,6 +81,61 @@ class TestSweep:
         core_spec, comm_spec = specs
         with pytest.raises(SynthesisError):
             sweep_frequencies(core_spec, comm_spec, (0.0,))
+
+    def test_all_frequencies_validated_up_front(self, specs):
+        """A bad value midway through the list must abort before any point
+        is synthesized (no work silently discarded)."""
+        core_spec, comm_spec = specs
+        calls = []
+        with pytest.raises(SynthesisError):
+            sweep_frequencies(
+                core_spec, comm_spec, (400.0, -5.0, 200.0),
+                config=SynthesisConfig(max_ill=10, switch_count_range=(2, 3)),
+                progress=lambda done, total, key: calls.append(key),
+            )
+        assert calls == []  # nothing ran
+
+    def test_best_power_tie_breaks_on_frequency(self, specs):
+        """Two frequencies yielding identical (power, switch count) points:
+        best_power() must pick the lower frequency deterministically, not
+        whichever dict insertion order all_points() happened to produce."""
+        import dataclasses
+
+        from repro.core.design_point import SynthesisResult
+
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        base = sweep_frequencies(
+            core_spec, comm_spec, (200.0,), config=cfg
+        ).per_frequency[200.0]
+        assert base.points
+        # Forge a 400 MHz twin of every 200 MHz point: identical metrics
+        # (power tie) but a different config frequency.
+        twin = SynthesisResult(points=[
+            dataclasses.replace(
+                p, config=p.config.with_(frequency_mhz=400.0)
+            )
+            for p in base.points
+        ])
+        for order in ((200.0, base, 400.0, twin), (400.0, twin, 200.0, base)):
+            sweep = FrequencySweepResult()
+            sweep.per_frequency[order[0]] = order[1]
+            sweep.per_frequency[order[2]] = order[3]
+            assert sweep.best_power().config.frequency_mhz == 200.0
+
+    def test_parallel_sweep_identical_to_serial(self, specs):
+        core_spec, comm_spec = specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        freqs = (200.0, 400.0, 700.0)
+        serial = sweep_frequencies(core_spec, comm_spec, freqs, config=cfg, jobs=1)
+        parallel = sweep_frequencies(core_spec, comm_spec, freqs, config=cfg, jobs=2)
+        assert serial.frequencies == parallel.frequencies
+        for freq in serial.frequencies:
+            s_points = serial.per_frequency[freq].points
+            p_points = parallel.per_frequency[freq].points
+            assert [design_point_to_dict(p) for p in s_points] == [
+                design_point_to_dict(p) for p in p_points
+            ]
 
     def test_empty_sweep_best_raises(self, specs):
         core_spec, comm_spec = specs
