@@ -1,9 +1,30 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full benchmarks
+.PHONY: help test test-fast check bench bench-full benchmarks
+
+help:
+	@echo "targets:"
+	@echo "  make test       - full tier-1 pytest suite"
+	@echo "  make test-fast  - tier-1 suite minus the 'slow' marker"
+	@echo "                    (annealer/simulator/experiment-heavy tests)"
+	@echo "  make check      - compileall smoke + full tier-1 suite"
+	@echo "  make bench      - CI-friendly engine scaling benchmark"
+	@echo "                    (writes BENCH_engine.json)"
+	@echo "  make bench-full - full engine scaling benchmark"
+	@echo "  make benchmarks - paper-figure benchmark harness (slow)"
 
 test:
+	$(PYTHON) -m pytest -x -q
+
+# Skips tests marked @pytest.mark.slow (floorplan annealer, cycle-accurate
+# simulator, full experiment regenerations) for a quick inner loop.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# The CI gate: a whole-tree import/compile smoke, then the full suite.
+check:
+	$(PYTHON) -m compileall -q src
 	$(PYTHON) -m pytest -x -q
 
 # CI-friendly engine scaling benchmark; writes BENCH_engine.json.

@@ -22,9 +22,16 @@ paper-vs-measured record of every table and figure.
 
 from repro.core import (
     DesignPoint,
+    FlowContext,
+    Pipeline,
+    Stage,
+    StageTimings,
     SunFloor3D,
     SynthesisConfig,
     SynthesisResult,
+    build_pipeline,
+    register_stage,
+    run_synthesis,
     synthesize,
     synthesize_2d,
     synthesize_mesh,
@@ -51,6 +58,13 @@ __all__ = [
     "SynthesisConfig",
     "SynthesisResult",
     "DesignPoint",
+    "FlowContext",
+    "Pipeline",
+    "Stage",
+    "StageTimings",
+    "build_pipeline",
+    "register_stage",
+    "run_synthesis",
     "synthesize",
     "synthesize_2d",
     "synthesize_mesh",

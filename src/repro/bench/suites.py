@@ -236,6 +236,7 @@ def suite_design_space(
     dims: str = "3d",
     jobs: Optional[int] = None,
     progress: Optional["ProgressFn"] = None,
+    stages: Optional[Sequence] = None,
 ) -> Dict[str, Dict["GridPoint", "SynthesisResult"]]:
     """Explore an architectural grid over a whole benchmark suite at once.
 
@@ -251,6 +252,9 @@ def suite_design_space(
         dims: "3d" (stacked) or "2d" benchmark variants.
         jobs: Engine worker count (``None``/``0`` = one per CPU).
         progress: Per-point callback ``(done, total, (name, point))``.
+        stages: Optional staged-pipeline override (stage names or
+            instances, see :func:`repro.core.pipeline.build_pipeline`)
+            applied to every synthesis run of the exploration.
 
     Returns:
         ``{benchmark name: {grid point: merged synthesis result}}`` with
@@ -267,13 +271,16 @@ def suite_design_space(
         names = TABLE1_BENCHMARKS
     if grid is None:
         grid = ParameterGrid()
+    stage_spec = tuple(stages) if stages is not None else None
 
     tasks: List[SynthesisTask] = []
     for name in names:
         bench = get_benchmark(name)
         core_spec = bench.core_spec_3d if dims == "3d" else bench.core_spec_2d
         for task in build_tasks(core_spec, bench.comm_spec, grid, base_config):
-            tasks.append(dataclasses.replace(task, key=(name, task.key)))
+            tasks.append(dataclasses.replace(
+                task, key=(name, task.key), stages=stage_spec,
+            ))
 
     results = run_tasks(tasks, jobs=jobs, progress=progress)
     merged: Dict[str, Dict["GridPoint", "SynthesisResult"]] = {}

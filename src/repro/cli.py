@@ -4,7 +4,9 @@ Sub-commands:
 
 * ``synth``      — synthesize a NoC for a core + communication spec pair
   (JSON or text format) or a named built-in benchmark, printing the
-  trade-off points and the chosen design.
+  trade-off points and the chosen design; ``--jobs N`` fans candidate
+  evaluation across the engine pool and ``--stage-timings`` prints the
+  per-stage wall-clock breakdown of the staged pipeline.
 * ``sweep``      — explore an architectural design space (frequency × α ×
   link width) on the parallel engine (``--jobs``).
 * ``bench``      — run the engine scaling benchmark and write
@@ -51,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="power")
     synth.add_argument("--switches", type=str, default=None,
                        help="switch count range, e.g. 3:14")
+    synth.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for candidate evaluation "
+                            "(0 = one per CPU, 1 = serial; results are "
+                            "identical either way)")
+    synth.add_argument("--stage-timings", action="store_true",
+                       help="print the per-stage wall-clock breakdown")
     synth.add_argument("--all-points", action="store_true",
                        help="print every valid design point")
     synth.add_argument("--verify", action="store_true",
@@ -158,7 +166,11 @@ def _cmd_synth(args) -> int:
         objective=args.objective,
         switch_count_range=switch_range,
     )
-    result = SunFloor3D(core_spec, comm_spec, config=config).synthesize()
+    tool = SunFloor3D(core_spec, comm_spec, config=config)
+    result = tool.synthesize(jobs=args.jobs)
+    if args.stage_timings:
+        print(tool.last_stage_timings.report())
+        print()
     if result.is_empty:
         print("no valid design points found "
               f"(unmet switch counts: {result.unmet_switch_counts})")

@@ -8,6 +8,11 @@ Public entry points:
   the TSV and switch-size constraints (Sec. VI / Algorithm 3), optimise
   switch positions with the Sec. VII LP, insert the network components into
   the floorplan and evaluate every valid design point.
+* :mod:`repro.core.pipeline` — the staged form of that flow:
+  :class:`~repro.core.pipeline.Stage` objects over an immutable
+  :class:`~repro.core.pipeline.FlowContext`, a stage registry for
+  substitution, per-stage timings and ``jobs=N`` candidate fan-out
+  (``docs/pipeline.md``).
 * :func:`~repro.core.synthesis2d.synthesize_2d` — the 2-D synthesis flow of
   Murali et al. [16] used as the comparison baseline.
 * :func:`~repro.core.mesh_baseline.synthesize_mesh` — the optimised-mesh
@@ -16,6 +21,15 @@ Public entry points:
 
 from repro.core.config import SynthesisConfig
 from repro.core.design_point import DesignPoint, SynthesisResult
+from repro.core.pipeline import (
+    FlowContext,
+    Pipeline,
+    Stage,
+    StageTimings,
+    build_pipeline,
+    register_stage,
+    run_synthesis,
+)
 from repro.core.synthesis import SunFloor3D, synthesize
 from repro.core.synthesis2d import synthesize_2d
 from repro.core.mesh_baseline import synthesize_mesh
@@ -24,7 +38,14 @@ __all__ = [
     "SynthesisConfig",
     "DesignPoint",
     "SynthesisResult",
+    "FlowContext",
+    "Pipeline",
+    "Stage",
+    "StageTimings",
     "SunFloor3D",
+    "build_pipeline",
+    "register_stage",
+    "run_synthesis",
     "synthesize",
     "synthesize_2d",
     "synthesize_mesh",

@@ -1,0 +1,796 @@
+"""The staged synthesis pipeline — the Fig. 3 flow as explicit components.
+
+The paper's flow is a sequence of distinct stages (connectivity candidate →
+topology skeleton → deadlock-free paths → switch-position LP → floorplan
+insertion → latency re-check → metrics). This module models each stage as a
+:class:`Stage` object operating on an immutable per-run :class:`FlowContext`
+and a mutable per-candidate :class:`CandidateState`, so stages are
+
+* **swappable** — the :data:`STAGE_REGISTRY` lets experiments substitute a
+  single stage (a different skeleton builder, a different floorplanner)
+  without forking the driver;
+* **measurable** — every stage execution is timed into a
+  :class:`StageTimings` accumulator (``repro.cli synth --stage-timings``);
+* **parallelizable** — candidate evaluation is a pure function of
+  ``(context, assignment)``, so independent candidates fan out across the
+  :mod:`repro.engine` process pool (``jobs=N``) with deterministic merging:
+  serial and parallel runs produce identical :class:`SynthesisResult`\\ s.
+
+Candidate *generation* stays serial and cheap (graph partitioning); only
+evaluation — routing, LP, floorplanning, metrics — is distributed. The
+switch-count sweep with its θ-retry (Algorithm 1, Steps 11-19) is a generic
+candidate-queue driver plus a requeue *policy*: Phase 1 requeues failed
+switch counts at the next θ (:class:`Phase1ThetaRequeuePolicy`); Phase 2 is
+a single round that records never-met switch counts
+(:class:`Phase2SingleRoundPolicy`).
+
+Entry point: :func:`run_synthesis`. ``repro.core.synthesize`` and
+``SunFloor3D.synthesize`` are thin compatibility wrappers over it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.core.assignment import Assignment, violates_ill_precheck
+from repro.core.config import SynthesisConfig
+from repro.core.design_point import DesignPoint, SynthesisResult
+from repro.core.paths import build_topology_skeleton, compute_paths
+from repro.core.phase1 import (
+    phase1_candidate,
+    phase1_scaled_candidate,
+    switch_count_bounds,
+)
+from repro.core.phase2 import phase2_candidates
+from repro.core.placement import optimise_switch_positions
+from repro.errors import PathComputationError, SpecError, SynthesisError
+from repro.floorplan.constrained import constrained_insert
+from repro.floorplan.geometry import Rect
+from repro.floorplan.inserter import NewComponent, insert_components
+from repro.floorplan.placement import ChipFloorplan, PlacedComponent
+from repro.floorplan.tsv_macros import VerticalLinkSpec, place_tsv_macros
+from repro.graphs.comm_graph import CommGraph, build_comm_graph
+from repro.models.library import NocLibrary, default_library
+from repro.noc.metrics import (
+    compute_metrics,
+    flow_latency_cycles,
+    link_lengths_from_positions,
+)
+from repro.noc.topology import Topology
+from repro.spec.comm_spec import CommSpec
+from repro.spec.core_spec import CoreSpec
+from repro.spec.validate import validate_specs
+
+#: Progress callback: ``(done_in_round, round_total, candidate_key)``.
+ProgressFn = Callable[[int, int, object], None]
+
+
+# --------------------------------------------------------------------------
+# run context and per-candidate state
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FlowContext:
+    """Everything a stage may read, fixed for one synthesis run.
+
+    Immutable by convention *and* by dataclass freezing: stages receive the
+    context plus a per-candidate :class:`CandidateState` and must confine
+    every mutation to the state. That is what makes candidate evaluation a
+    pure function, and therefore safe to fan out across processes.
+    """
+
+    core_spec: CoreSpec
+    comm_spec: CommSpec
+    graph: CommGraph
+    library: NocLibrary
+    config: SynthesisConfig
+    core_centers: Dict[int, Tuple[float, float]]
+    die_bounds: Tuple[float, float]
+
+    @classmethod
+    def build(
+        cls,
+        core_spec: CoreSpec,
+        comm_spec: CommSpec,
+        library: Optional[NocLibrary] = None,
+        config: Optional[SynthesisConfig] = None,
+    ) -> "FlowContext":
+        """Validate the specs and derive the shared run context."""
+        validate_specs(core_spec, comm_spec)
+        library = library if library is not None else default_library()
+        config = config if config is not None else SynthesisConfig()
+        graph = build_comm_graph(core_spec, comm_spec)
+        centers = {i: core.center for i, core in enumerate(core_spec)}
+        width = max(c.x + c.width for c in core_spec)
+        height = max(c.y + c.height for c in core_spec)
+        if width <= 0 or height <= 0:
+            raise SpecError("core positions must span a positive die area")
+        return cls(
+            core_spec=core_spec,
+            comm_spec=comm_spec,
+            graph=graph,
+            library=library,
+            config=config,
+            core_centers=centers,
+            die_bounds=(width, height),
+        )
+
+
+@dataclass
+class CandidateState:
+    """Mutable scratch state threaded through the stages of one candidate."""
+
+    assignment: Assignment
+    topology: Optional[Topology] = None
+    floorplan: Optional[ChipFloorplan] = None
+    final_centers: Optional[Dict[int, Tuple[float, float]]] = None
+    point: Optional[DesignPoint] = None
+    failed_stage: Optional[str] = None
+    failure_reason: str = ""
+    #: Wall-clock seconds spent in each executed stage.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_stage is None
+
+    def outcome(self) -> "CandidateOutcome":
+        return CandidateOutcome(
+            point=self.point,
+            failed_stage=self.failed_stage,
+            failure_reason=self.failure_reason,
+            stage_seconds=dict(self.stage_seconds),
+        )
+
+
+@dataclass
+class CandidateOutcome:
+    """The pickling-safe result of evaluating one candidate."""
+
+    point: Optional[DesignPoint] = None
+    failed_stage: Optional[str] = None
+    failure_reason: str = ""
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class StageFailure(Exception):
+    """Raised inside a stage to reject the candidate (not an error)."""
+
+
+# --------------------------------------------------------------------------
+# stage timing collection
+# --------------------------------------------------------------------------
+
+class StageTimings:
+    """Per-stage wall-clock accumulator (sample list per stage name)."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+        self._order: List[str] = []
+
+    def add(self, name: str, seconds: float) -> None:
+        if name not in self._samples:
+            self._samples[name] = []
+            self._order.append(name)
+        self._samples[name].append(seconds)
+
+    def merge(self, stage_seconds: Mapping[str, float]) -> None:
+        """Fold one candidate's ``{stage: seconds}`` dict (worker results)."""
+        for name, seconds in stage_seconds.items():
+            self.add(name, seconds)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def count(self, name: str) -> int:
+        return len(self._samples.get(name, ()))
+
+    def total_s(self, name: str) -> float:
+        return sum(self._samples.get(name, ()))
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {
+                "total_s": round(self.total_s(name), 6),
+                "count": self.count(name),
+                "mean_ms": round(
+                    1000.0 * self.total_s(name) / max(self.count(name), 1), 3
+                ),
+            }
+            for name in self._order
+        }
+
+    def report(self) -> str:
+        """An aligned plain-text per-stage breakdown."""
+        rows = [("stage", "calls", "total s", "mean ms")]
+        for name in self._order:
+            rows.append((
+                name,
+                str(self.count(name)),
+                f"{self.total_s(name):.3f}",
+                f"{1000.0 * self.total_s(name) / max(self.count(name), 1):.2f}",
+            ))
+        widths = [max(len(r[c]) for r in rows) for c in range(4)]
+        lines = ["per-stage timings:"]
+        for i, row in enumerate(rows):
+            lines.append(
+                "  " + row[0].ljust(widths[0]) + "  "
+                + "  ".join(row[c].rjust(widths[c]) for c in range(1, 4))
+            )
+            if i == 0:
+                lines.append("  " + "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# stages
+# --------------------------------------------------------------------------
+
+class Stage:
+    """One step of the Fig. 3 flow.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, which either
+    advances ``state`` or raises :class:`StageFailure` to reject the
+    candidate. Stages must be stateless (or carry only immutable
+    configuration) and defined at module top level so they pickle across
+    the ``jobs=N`` process-pool boundary.
+    """
+
+    name: str = ""
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        raise NotImplementedError
+
+
+#: name -> stage class; :func:`build_pipeline` instantiates from here.
+STAGE_REGISTRY: Dict[str, Type[Stage]] = {}
+
+
+def register_stage(cls: Type[Stage]) -> Type[Stage]:
+    """Class decorator: file a stage under ``cls.name`` in the registry."""
+    if not cls.name:
+        raise SynthesisError(f"stage class {cls.__name__} has no name")
+    STAGE_REGISTRY[cls.name] = cls
+    return cls
+
+
+@register_stage
+class IllPrecheckStage(Stage):
+    """Pruning rule 3 (Sec. V-C): core links alone must respect max_ill."""
+
+    name = "precheck"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        if violates_ill_precheck(state.assignment, ctx.graph, ctx.config.max_ill):
+            raise StageFailure(
+                "core-to-switch links alone exceed the max_ill constraint"
+            )
+
+
+@register_stage
+class SkeletonStage(Stage):
+    """Materialise the topology skeleton and apply the pruning rules."""
+
+    name = "skeleton"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        try:
+            state.topology = build_topology_skeleton(
+                state.assignment, ctx.graph, ctx.library, ctx.config,
+                ctx.core_centers,
+            )
+        except PathComputationError as exc:
+            raise StageFailure(str(exc))
+
+
+@register_stage
+class RoutingStage(Stage):
+    """Deadlock-free, constraint-respecting paths (Sec. VI / Algorithm 3)."""
+
+    name = "routing"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        try:
+            compute_paths(
+                state.topology, ctx.graph, ctx.library, ctx.config,
+                ctx.core_centers,
+            )
+        except PathComputationError as exc:
+            raise StageFailure(str(exc))
+
+
+@register_stage
+class PlacementLPStage(Stage):
+    """Optimise switch positions with the Sec. VII LP."""
+
+    name = "placement_lp"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        die_w, die_h = ctx.die_bounds
+        optimise_switch_positions(
+            state.topology, ctx.core_centers, die_w, die_h
+        )
+
+
+def vertical_link_specs(
+    topology: Topology, floorplan: ChipFloorplan, core_spec: CoreSpec
+) -> List[VerticalLinkSpec]:
+    """Multi-layer links needing explicit intermediate TSV macros.
+
+    Every such link is anchored at its top endpoint's placed position; a
+    missing endpoint is a synthesis bug, not a default-to-origin situation.
+    """
+    specs: List[VerticalLinkSpec] = []
+    for link in topology.links:
+        if link.layers_crossed < 2:
+            continue
+        top_ep = link.src if link.src_layer > link.dst_layer else link.dst
+        kind, index = top_ep
+        name = f"sw{index}" if kind == "switch" else core_spec[index].name
+        if not floorplan.has(name):
+            raise SynthesisError(
+                f"vertical link {link.id} endpoint {name!r} is missing from "
+                "the floorplan; cannot anchor its TSV macro stack"
+            )
+        specs.append(
+            VerticalLinkSpec(
+                name=f"link{link.id}",
+                lo_layer=link.lo_layer,
+                hi_layer=link.hi_layer,
+                top_center=floorplan.center_of(name),
+            )
+        )
+    return specs
+
+
+@register_stage
+class FloorplanStage(Stage):
+    """Insert switches and TSV macros into the input core floorplan, then
+    recompute positions and wire lengths from the final placement."""
+
+    name = "floorplan"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        floorplan = self._insert_noc(ctx, state.topology)
+        state.floorplan = floorplan
+        state.final_centers = {
+            i: floorplan.center_of(core.name)
+            for i, core in enumerate(ctx.core_spec)
+        }
+        for sw in state.topology.switches:
+            name = f"sw{sw.id}"
+            if floorplan.has(name):
+                sw.x, sw.y = floorplan.center_of(name)
+        link_lengths_from_positions(state.topology, state.final_centers)
+
+    def _insert_noc(self, ctx: FlowContext, topology: Topology) -> ChipFloorplan:
+        floorplan = ChipFloorplan()
+        num_layers = max(ctx.core_spec.num_layers, 1)
+        for layer in range(num_layers):
+            existing = [
+                PlacedComponent(
+                    name=core.name,
+                    kind="core",
+                    rect=Rect(core.x, core.y, core.width, core.height),
+                    layer=layer,
+                )
+                for core in ctx.core_spec.cores_in_layer(layer)
+            ]
+            new_components = []
+            for sw in topology.switches:
+                if sw.layer != layer:
+                    continue
+                side = math.sqrt(
+                    ctx.library.switch.area_mm2(
+                        max(sw.size, ctx.library.switch.min_ports)
+                    )
+                )
+                new_components.append(
+                    NewComponent(
+                        name=f"sw{sw.id}",
+                        kind="switch",
+                        width=side,
+                        height=side,
+                        ideal_center=(sw.x, sw.y),
+                    )
+                )
+            if new_components:
+                if ctx.config.floorplanner == "custom":
+                    placed = insert_components(
+                        existing,
+                        new_components,
+                        search_radius=ctx.config.search_radius_mm,
+                        grid_step=ctx.config.grid_step_mm,
+                    )
+                else:
+                    placed = constrained_insert(
+                        existing, new_components, seed=ctx.config.seed
+                    )
+            else:
+                placed = existing
+            for comp in placed:
+                floorplan.add(comp)
+
+        vertical_specs = vertical_link_specs(topology, floorplan, ctx.core_spec)
+        if vertical_specs:
+            floorplan = place_tsv_macros(
+                floorplan,
+                vertical_specs,
+                ctx.library.tsv,
+                ctx.config.link_width_bits,
+                search_radius=ctx.config.search_radius_mm,
+                grid_step=ctx.config.grid_step_mm,
+            )
+        return floorplan
+
+
+@register_stage
+class LatencyVerifyStage(Stage):
+    """Re-check every flow's latency constraint on final wire lengths."""
+
+    name = "verify"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        for (src, dst), flow in ctx.graph.edges.items():
+            latency = flow_latency_cycles(
+                state.topology, (src, dst), ctx.library
+            )
+            if latency > flow.latency + 1e-9:
+                raise StageFailure(
+                    f"flow ({src}, {dst}) misses its latency constraint "
+                    f"after floorplanning ({latency:.2f} > {flow.latency:g})"
+                )
+
+
+@register_stage
+class MetricsStage(Stage):
+    """Evaluate power / latency / area and emit the design point."""
+
+    name = "metrics"
+
+    def run(self, ctx: FlowContext, state: CandidateState) -> None:
+        metrics = compute_metrics(
+            state.topology, state.final_centers, ctx.library
+        )
+        state.point = DesignPoint(
+            assignment=state.assignment,
+            topology=state.topology,
+            floorplan=state.floorplan,
+            metrics=metrics,
+            config=ctx.config,
+        )
+
+
+#: The standard Fig. 3 stage sequence.
+DEFAULT_STAGE_NAMES: Tuple[str, ...] = (
+    "precheck",
+    "skeleton",
+    "routing",
+    "placement_lp",
+    "floorplan",
+    "verify",
+    "metrics",
+)
+
+
+def build_pipeline(
+    stages: Optional[Sequence[Union[str, Stage]]] = None,
+    overrides: Optional[Mapping[str, Union[Stage, Type[Stage]]]] = None,
+) -> "Pipeline":
+    """Build a pipeline from registry names and/or stage instances.
+
+    Args:
+        stages: Stage names (registry lookups) or ready instances, in
+            execution order; defaults to :data:`DEFAULT_STAGE_NAMES`.
+        overrides: ``{name: replacement}`` applied after resolution — the
+            hook for substituting a single stage (e.g. a custom
+            floorplanner) while keeping the standard sequence.
+    """
+    resolved: List[Stage] = []
+    for item in (stages if stages is not None else DEFAULT_STAGE_NAMES):
+        if isinstance(item, Stage):
+            resolved.append(item)
+        elif isinstance(item, str):
+            if item not in STAGE_REGISTRY:
+                raise SynthesisError(
+                    f"unknown stage {item!r}; registered: "
+                    f"{', '.join(sorted(STAGE_REGISTRY))}"
+                )
+            resolved.append(STAGE_REGISTRY[item]())
+        else:
+            raise SynthesisError(f"stage must be a name or Stage, got {item!r}")
+    if overrides:
+        by_name = {stage.name: i for i, stage in enumerate(resolved)}
+        for name, replacement in overrides.items():
+            if name not in by_name:
+                raise SynthesisError(
+                    f"cannot override stage {name!r}: not in the pipeline"
+                )
+            stage = replacement() if isinstance(replacement, type) else replacement
+            resolved[by_name[name]] = stage
+    return Pipeline(resolved)
+
+
+class Pipeline:
+    """An ordered stage sequence evaluating one candidate at a time."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise SynthesisError("a pipeline needs at least one stage")
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def evaluate(
+        self,
+        ctx: FlowContext,
+        assignment: Assignment,
+        timings: Optional[StageTimings] = None,
+    ) -> CandidateState:
+        """Run every stage on a fresh state; stop at the first rejection."""
+        state = CandidateState(assignment=assignment)
+        for stage in self.stages:
+            start = time.perf_counter()
+            try:
+                stage.run(ctx, state)
+            except StageFailure as exc:
+                state.failed_stage = stage.name
+                state.failure_reason = str(exc)
+            finally:
+                elapsed = time.perf_counter() - start
+                state.stage_seconds[stage.name] = (
+                    state.stage_seconds.get(stage.name, 0.0) + elapsed
+                )
+                if timings is not None:
+                    timings.add(stage.name, elapsed)
+            if state.failed_stage is not None:
+                break
+        return state
+
+
+# --------------------------------------------------------------------------
+# candidate queue driver and requeue policies
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CandidateRequest:
+    """One queued candidate: a built assignment plus its sweep provenance."""
+
+    assignment: Assignment
+    count: int
+    theta: Optional[float] = None
+
+    @property
+    def key(self) -> Tuple[object, ...]:
+        phase = self.assignment.phase if self.assignment is not None else "?"
+        return (phase, self.count, self.theta)
+
+
+class CandidatePolicy:
+    """Candidate generation + requeue policy for the queue driver."""
+
+    def initial_requests(self, ctx: FlowContext) -> List[CandidateRequest]:
+        raise NotImplementedError
+
+    def next_round(
+        self,
+        ctx: FlowContext,
+        requests: Sequence[CandidateRequest],
+        outcomes: Sequence[CandidateOutcome],
+    ) -> List[CandidateRequest]:
+        raise NotImplementedError
+
+    def finalize(self, ctx: FlowContext, result: SynthesisResult) -> None:
+        pass
+
+
+class Phase1ThetaRequeuePolicy(CandidatePolicy):
+    """Algorithm 1: PG candidates per switch count; failed counts requeue
+    as SPG candidates over the θ sweep (the Unmet-set retry, Steps 11-19)."""
+
+    def __init__(self) -> None:
+        self._theta_iter = None
+        self._unmet: Tuple[int, ...] = ()
+
+    def initial_requests(self, ctx: FlowContext) -> List[CandidateRequest]:
+        self._theta_iter = iter(ctx.config.theta_values())
+        lo, hi = switch_count_bounds(ctx.graph, ctx.config)
+        return [
+            CandidateRequest(
+                phase1_candidate(ctx.graph, ctx.config, count), count
+            )
+            for count in range(lo, hi + 1)
+        ]
+
+    def next_round(self, ctx, requests, outcomes) -> List[CandidateRequest]:
+        failed = [
+            req for req, out in zip(requests, outcomes) if out.point is None
+        ]
+        if not failed:
+            return []
+        try:
+            theta = next(self._theta_iter)
+        except StopIteration:
+            self._unmet = tuple(sorted({req.count for req in failed}))
+            return []
+        return [
+            CandidateRequest(
+                phase1_scaled_candidate(ctx.graph, ctx.config, req.count, theta),
+                req.count,
+                theta,
+            )
+            for req in failed
+        ]
+
+    def finalize(self, ctx: FlowContext, result: SynthesisResult) -> None:
+        result.unmet_switch_counts = sorted(
+            set(result.unmet_switch_counts) | set(self._unmet)
+        )
+
+
+class Phase2SingleRoundPolicy(CandidatePolicy):
+    """Algorithm 2: one round over all layer-local candidates. A switch
+    count is unmet only if *no* candidate at that count produced a point."""
+
+    def __init__(self) -> None:
+        self._met: set = set()
+        self._failed: set = set()
+
+    def initial_requests(self, ctx: FlowContext) -> List[CandidateRequest]:
+        return [
+            CandidateRequest(assignment, assignment.num_switches)
+            for assignment in phase2_candidates(
+                ctx.graph, ctx.config, ctx.library
+            )
+        ]
+
+    def next_round(self, ctx, requests, outcomes) -> List[CandidateRequest]:
+        for req, out in zip(requests, outcomes):
+            if out.point is not None:
+                self._met.add(req.count)
+            else:
+                self._failed.add(req.count)
+        return []
+
+    def finalize(self, ctx: FlowContext, result: SynthesisResult) -> None:
+        unmet = self._failed - self._met
+        if unmet:
+            result.unmet_switch_counts = sorted(
+                set(result.unmet_switch_counts) | unmet
+            )
+
+
+#: Batch evaluator: requests in, outcomes out (submission order preserved).
+BatchEvaluator = Callable[[Sequence[CandidateRequest]], List[CandidateOutcome]]
+
+
+def run_candidate_queue(
+    ctx: FlowContext,
+    policy: CandidatePolicy,
+    evaluate_batch: BatchEvaluator,
+    result: SynthesisResult,
+) -> None:
+    """The generic round-based driver shared by both phases.
+
+    Each round's candidates are evaluated as one batch (serially or fanned
+    across the engine pool) and merged in submission order, so point order
+    — round by round, then switch count within a round — is identical to
+    the historical serial loops.
+    """
+    requests = policy.initial_requests(ctx)
+    while requests:
+        outcomes = evaluate_batch(requests)
+        for outcome in outcomes:
+            if outcome.point is not None:
+                result.points.append(outcome.point)
+        requests = policy.next_round(ctx, requests, outcomes)
+    policy.finalize(ctx, result)
+
+
+# --------------------------------------------------------------------------
+# batch evaluation (serial / engine fan-out) and the run entry point
+# --------------------------------------------------------------------------
+
+def _make_batch_evaluator(
+    ctx: FlowContext,
+    pipeline: Pipeline,
+    jobs: Optional[int],
+    progress: Optional[ProgressFn],
+    timings: Optional[StageTimings],
+) -> BatchEvaluator:
+    def serial(requests: Sequence[CandidateRequest]) -> List[CandidateOutcome]:
+        outcomes: List[CandidateOutcome] = []
+        total = len(requests)
+        for i, req in enumerate(requests):
+            state = pipeline.evaluate(ctx, req.assignment, timings)
+            outcomes.append(state.outcome())
+            if progress is not None:
+                progress(i + 1, total, req.key)
+        return outcomes
+
+    if jobs == 1:
+        return serial
+
+    import uuid
+
+    context_token = uuid.uuid4().hex
+
+    def parallel(requests: Sequence[CandidateRequest]) -> List[CandidateOutcome]:
+        if len(requests) <= 1:
+            return serial(requests)
+        # Imported lazily: repro.engine depends on repro.core, not vice versa.
+        from repro.engine.executor import run_tasks
+        from repro.engine.tasks import CandidateTask, release_context, seed_context
+
+        tasks = [
+            CandidateTask(
+                key=req.key,
+                core_spec=ctx.core_spec,
+                comm_spec=ctx.comm_spec,
+                config=ctx.config,
+                assignment=req.assignment,
+                library=ctx.library,
+                stages=pipeline.stages,
+                context_token=context_token,
+            )
+            for req in requests
+        ]
+        seed_context(context_token, ctx)
+        try:
+            results = run_tasks(tasks, jobs=jobs, progress=progress)
+        finally:
+            release_context(context_token)
+        outcomes = [task_result.result for task_result in results]
+        if timings is not None:
+            for outcome in outcomes:
+                timings.merge(outcome.stage_seconds)
+        return outcomes
+
+    return parallel
+
+
+def run_synthesis(
+    ctx: FlowContext,
+    *,
+    pipeline: Optional[Pipeline] = None,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+    timings: Optional[StageTimings] = None,
+) -> SynthesisResult:
+    """Run the configured flow and return all valid design points.
+
+    Args:
+        ctx: The run context (see :meth:`FlowContext.build`).
+        pipeline: Stage sequence; default :func:`build_pipeline`.
+        jobs: Candidate-evaluation worker processes — ``1`` (default)
+            serial, ``None``/``0`` one per CPU, ``n >= 2`` a pool of n.
+            Results are bit-identical regardless of ``jobs``.
+        progress: Optional per-candidate callback
+            ``(done_in_round, round_total, key)``.
+        timings: Optional :class:`StageTimings` accumulator to fill.
+    """
+    pipeline = pipeline if pipeline is not None else build_pipeline()
+    evaluate_batch = _make_batch_evaluator(ctx, pipeline, jobs, progress, timings)
+    result = SynthesisResult()
+    phase = ctx.config.phase
+    if phase in ("auto", "phase1"):
+        run_candidate_queue(ctx, Phase1ThetaRequeuePolicy(), evaluate_batch, result)
+    if phase == "phase2" or (phase == "auto" and result.is_empty):
+        run_candidate_queue(ctx, Phase2SingleRoundPolicy(), evaluate_batch, result)
+    return result

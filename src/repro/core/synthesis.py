@@ -1,6 +1,6 @@
 """The SunFloor 3D synthesis driver — the full flow of Fig. 3.
 
-For every candidate switch count the driver:
+For every candidate switch count the flow:
 
 1. obtains a core-to-switch connectivity candidate (Phase 1 / Phase 2),
 2. materialises the topology skeleton and applies the pruning rules,
@@ -12,45 +12,44 @@ For every candidate switch count the driver:
    latency constraint, and evaluates power / latency / area,
 7. saves the design point if all constraints hold.
 
-Phase 1's Unmet set is retried over the θ sweep with SPG-based partitions;
-in "auto" mode Phase 2 is used as a fallback when Phase 1 produces no valid
-point at all (the paper's two-phase method of Sec. IV).
+Since the staged-pipeline refactor the flow itself lives in
+:mod:`repro.core.pipeline` — explicit :class:`~repro.core.pipeline.Stage`
+objects over an immutable :class:`~repro.core.pipeline.FlowContext`, with
+the θ-retry of Algorithm 1 expressed as a requeue policy and candidate
+evaluation optionally fanned across the :mod:`repro.engine` process pool.
+This module keeps the historical entry points (:class:`SunFloor3D`,
+:func:`synthesize`) as thin wrappers over that pipeline; see
+``docs/pipeline.md`` for the stage model.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.core.assignment import Assignment, violates_ill_precheck
+from repro.core.assignment import Assignment
 from repro.core.config import SynthesisConfig
 from repro.core.design_point import DesignPoint, SynthesisResult
-from repro.core.partition_graphs import build_pg
-from repro.core.paths import build_topology_skeleton, compute_paths
-from repro.core.phase1 import (
-    phase1_candidate,
-    phase1_scaled_candidate,
-    switch_count_bounds,
+from repro.core.pipeline import (
+    FlowContext,
+    Pipeline,
+    ProgressFn,
+    StageTimings,
+    build_pipeline,
+    run_synthesis,
 )
-from repro.core.phase2 import phase2_candidates
-from repro.core.placement import optimise_switch_positions
-from repro.errors import PathComputationError, SpecError
-from repro.floorplan.constrained import constrained_insert
-from repro.floorplan.geometry import Rect
-from repro.floorplan.inserter import NewComponent, insert_components
-from repro.floorplan.placement import ChipFloorplan, PlacedComponent
-from repro.floorplan.tsv_macros import VerticalLinkSpec, place_tsv_macros
-from repro.graphs.comm_graph import CommGraph, build_comm_graph
-from repro.models.library import NocLibrary, default_library
-from repro.noc.metrics import compute_metrics, link_lengths_from_positions
-from repro.noc.topology import Topology
+from repro.graphs.comm_graph import CommGraph
+from repro.models.library import NocLibrary
 from repro.spec.comm_spec import CommSpec
 from repro.spec.core_spec import CoreSpec
-from repro.spec.validate import validate_specs
 
 
 class SunFloor3D:
-    """Application-specific 3-D NoC topology synthesis (the paper's tool)."""
+    """Application-specific 3-D NoC topology synthesis (the paper's tool).
+
+    A convenience wrapper binding one (core spec, comm spec, library,
+    config) context to the staged pipeline. Construction validates the
+    specs; :meth:`synthesize` runs the flow.
+    """
 
     def __init__(
         self,
@@ -58,237 +57,75 @@ class SunFloor3D:
         comm_spec: CommSpec,
         library: Optional[NocLibrary] = None,
         config: Optional[SynthesisConfig] = None,
+        pipeline: Optional[Pipeline] = None,
     ) -> None:
-        validate_specs(core_spec, comm_spec)
-        self.core_spec = core_spec
-        self.comm_spec = comm_spec
-        self.library = library if library is not None else default_library()
-        self.config = config if config is not None else SynthesisConfig()
-        self.graph: CommGraph = build_comm_graph(core_spec, comm_spec)
-        self._core_centers: Dict[int, Tuple[float, float]] = {
-            i: core.center for i, core in enumerate(core_spec)
-        }
-        self._die_bounds = self._compute_die_bounds()
+        self.context = FlowContext.build(core_spec, comm_spec, library, config)
+        self.pipeline = pipeline if pipeline is not None else build_pipeline()
+        #: Stage timings of the most recent :meth:`synthesize` call.
+        self.last_stage_timings: Optional[StageTimings] = None
+
+    # -- context attributes (kept for API compatibility) -----------------------
+
+    @property
+    def core_spec(self) -> CoreSpec:
+        return self.context.core_spec
+
+    @property
+    def comm_spec(self) -> CommSpec:
+        return self.context.comm_spec
+
+    @property
+    def library(self) -> NocLibrary:
+        return self.context.library
+
+    @property
+    def config(self) -> SynthesisConfig:
+        return self.context.config
+
+    @property
+    def graph(self) -> CommGraph:
+        return self.context.graph
+
+    @property
+    def _core_centers(self) -> Dict[int, Tuple[float, float]]:
+        return self.context.core_centers
+
+    @property
+    def _die_bounds(self) -> Tuple[float, float]:
+        return self.context.die_bounds
 
     # -- public API ----------------------------------------------------------
 
-    def synthesize(self) -> SynthesisResult:
-        """Run the configured flow and return all valid design points."""
-        result = SynthesisResult()
-        if self.config.phase in ("auto", "phase1"):
-            self._run_phase1(result)
-        if self.config.phase == "phase2" or (
-            self.config.phase == "auto" and result.is_empty
-        ):
-            self._run_phase2(result)
-        return result
+    def synthesize(
+        self,
+        jobs: Optional[int] = 1,
+        progress: Optional[ProgressFn] = None,
+        timings: Optional[StageTimings] = None,
+    ) -> SynthesisResult:
+        """Run the configured flow and return all valid design points.
+
+        ``jobs=1`` (default) evaluates candidates serially; ``jobs=N``
+        fans independent candidates across the engine process pool with
+        bit-identical results. Per-stage wall-clock totals land in
+        ``timings`` (or ``self.last_stage_timings``).
+        """
+        timings = timings if timings is not None else StageTimings()
+        self.last_stage_timings = timings
+        return run_synthesis(
+            self.context,
+            pipeline=self.pipeline,
+            jobs=jobs,
+            progress=progress,
+            timings=timings,
+        )
 
     def evaluate_assignment(self, assignment: Assignment) -> Optional[DesignPoint]:
         """Evaluate a single connectivity candidate (None if unmet)."""
-        return self._try_point(assignment)
+        return self.pipeline.evaluate(self.context, assignment).point
 
-    # -- phase drivers ---------------------------------------------------------
-
-    def _run_phase1(self, result: SynthesisResult) -> None:
-        lo, hi = switch_count_bounds(self.graph, self.config)
-        unmet: List[int] = []
-        for count in range(lo, hi + 1):
-            assignment = phase1_candidate(self.graph, self.config, count)
-            point = self._try_point(assignment)
-            if point is not None:
-                result.points.append(point)
-            else:
-                unmet.append(count)
-
-        for theta in self.config.theta_values():
-            if not unmet:
-                break
-            still_unmet: List[int] = []
-            for count in unmet:
-                assignment = phase1_scaled_candidate(
-                    self.graph, self.config, count, theta
-                )
-                point = self._try_point(assignment)
-                if point is not None:
-                    result.points.append(point)
-                else:
-                    still_unmet.append(count)
-            unmet = still_unmet
-        result.unmet_switch_counts = sorted(set(result.unmet_switch_counts) | set(unmet))
-
-    def _run_phase2(self, result: SynthesisResult) -> None:
-        met_counts = set()
-        for assignment in phase2_candidates(self.graph, self.config, self.library):
-            point = self._try_point(assignment)
-            if point is not None:
-                result.points.append(point)
-                met_counts.add(assignment.num_switches)
-            else:
-                if assignment.num_switches not in met_counts:
-                    result.unmet_switch_counts = sorted(
-                        set(result.unmet_switch_counts) | {assignment.num_switches}
-                    )
-
-    # -- single-point evaluation ------------------------------------------------
-
+    # Legacy internal name, kept because external callers grew on it.
     def _try_point(self, assignment: Assignment) -> Optional[DesignPoint]:
-        if violates_ill_precheck(assignment, self.graph, self.config.max_ill):
-            return None
-        try:
-            topology = build_topology_skeleton(
-                assignment, self.graph, self.library, self.config,
-                self._core_centers,
-            )
-            compute_paths(
-                topology, self.graph, self.library, self.config,
-                self._core_centers,
-            )
-        except PathComputationError:
-            return None
-
-        die_w, die_h = self._die_bounds
-        optimise_switch_positions(topology, self._core_centers, die_w, die_h)
-
-        floorplan = self._insert_noc(topology)
-        final_centers = self._final_core_centers(floorplan)
-        self._update_switch_positions(topology, floorplan)
-        link_lengths_from_positions(topology, final_centers)
-
-        if not self._latency_constraints_met(topology):
-            return None
-
-        metrics = compute_metrics(topology, final_centers, self.library)
-        return DesignPoint(
-            assignment=assignment,
-            topology=topology,
-            floorplan=floorplan,
-            metrics=metrics,
-            config=self.config,
-        )
-
-    # -- floorplanning ------------------------------------------------------------
-
-    def _insert_noc(self, topology: Topology) -> ChipFloorplan:
-        """Insert switches (and TSV macros) into the input core floorplan."""
-        floorplan = ChipFloorplan()
-        num_layers = max(self.core_spec.num_layers, 1)
-        for layer in range(num_layers):
-            existing = [
-                PlacedComponent(
-                    name=core.name,
-                    kind="core",
-                    rect=Rect(core.x, core.y, core.width, core.height),
-                    layer=layer,
-                )
-                for core in self.core_spec.cores_in_layer(layer)
-            ]
-            new_components = []
-            for sw in topology.switches:
-                if sw.layer != layer:
-                    continue
-                side = math.sqrt(
-                    self.library.switch.area_mm2(
-                        max(sw.size, self.library.switch.min_ports)
-                    )
-                )
-                new_components.append(
-                    NewComponent(
-                        name=f"sw{sw.id}",
-                        kind="switch",
-                        width=side,
-                        height=side,
-                        ideal_center=(sw.x, sw.y),
-                    )
-                )
-            if new_components:
-                if self.config.floorplanner == "custom":
-                    placed = insert_components(
-                        existing,
-                        new_components,
-                        search_radius=self.config.search_radius_mm,
-                        grid_step=self.config.grid_step_mm,
-                    )
-                else:
-                    placed = constrained_insert(
-                        existing, new_components, seed=self.config.seed
-                    )
-            else:
-                placed = existing
-            for comp in placed:
-                floorplan.add(comp)
-
-        vertical_specs = self._vertical_link_specs(topology, floorplan)
-        if vertical_specs:
-            floorplan = place_tsv_macros(
-                floorplan,
-                vertical_specs,
-                self.library.tsv,
-                self.config.link_width_bits,
-                search_radius=self.config.search_radius_mm,
-                grid_step=self.config.grid_step_mm,
-            )
-        return floorplan
-
-    def _vertical_link_specs(
-        self, topology: Topology, floorplan: ChipFloorplan
-    ) -> List[VerticalLinkSpec]:
-        """Multi-layer links needing explicit intermediate TSV macros."""
-        specs: List[VerticalLinkSpec] = []
-        for link in topology.links:
-            if link.layers_crossed < 2:
-                continue
-            top_ep = link.src if link.src_layer > link.dst_layer else link.dst
-            kind, index = top_ep
-            name = f"sw{index}" if kind == "switch" else self.core_spec[index].name
-            center = (
-                floorplan.center_of(name)
-                if floorplan.has(name)
-                else (0.0, 0.0)
-            )
-            specs.append(
-                VerticalLinkSpec(
-                    name=f"link{link.id}",
-                    lo_layer=link.lo_layer,
-                    hi_layer=link.hi_layer,
-                    top_center=center,
-                )
-            )
-        return specs
-
-    def _final_core_centers(
-        self, floorplan: ChipFloorplan
-    ) -> Dict[int, Tuple[float, float]]:
-        centers: Dict[int, Tuple[float, float]] = {}
-        for i, core in enumerate(self.core_spec):
-            centers[i] = floorplan.center_of(core.name)
-        return centers
-
-    @staticmethod
-    def _update_switch_positions(
-        topology: Topology, floorplan: ChipFloorplan
-    ) -> None:
-        for sw in topology.switches:
-            name = f"sw{sw.id}"
-            if floorplan.has(name):
-                sw.x, sw.y = floorplan.center_of(name)
-
-    # -- checks and helpers ----------------------------------------------------------
-
-    def _latency_constraints_met(self, topology: Topology) -> bool:
-        from repro.noc.metrics import flow_latency_cycles
-
-        for (src, dst), flow in self.graph.edges.items():
-            latency = flow_latency_cycles(topology, (src, dst), self.library)
-            if latency > flow.latency + 1e-9:
-                return False
-        return True
-
-    def _compute_die_bounds(self) -> Tuple[float, float]:
-        width = max(c.x + c.width for c in self.core_spec)
-        height = max(c.y + c.height for c in self.core_spec)
-        if width <= 0 or height <= 0:
-            raise SpecError("core positions must span a positive die area")
-        return width, height
+        return self.evaluate_assignment(assignment)
 
 
 def synthesize(
@@ -296,6 +133,17 @@ def synthesize(
     comm_spec: CommSpec,
     library: Optional[NocLibrary] = None,
     config: Optional[SynthesisConfig] = None,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+    pipeline: Optional[Pipeline] = None,
+    timings: Optional[StageTimings] = None,
 ) -> SynthesisResult:
-    """Convenience wrapper: construct the tool and run it."""
-    return SunFloor3D(core_spec, comm_spec, library, config).synthesize()
+    """Convenience wrapper: build the context and run the staged pipeline."""
+    return run_synthesis(
+        FlowContext.build(core_spec, comm_spec, library, config),
+        pipeline=pipeline,
+        jobs=jobs,
+        progress=progress,
+        timings=timings,
+    )

@@ -40,9 +40,15 @@ knobs.
 from repro.engine.executor import ProgressFn, resolve_jobs, run_tasks
 from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
 from repro.engine.profile import ProfileRecorder, Timer
-from repro.engine.tasks import SynthesisTask, TaskResult, run_task
+from repro.engine.tasks import (
+    CandidateTask,
+    SynthesisTask,
+    TaskResult,
+    run_task,
+)
 
 __all__ = [
+    "CandidateTask",
     "GridPoint",
     "ParameterGrid",
     "ProfileRecorder",

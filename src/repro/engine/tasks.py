@@ -1,14 +1,23 @@
-"""Pickling-safe task descriptors for the parallel sweep engine.
+"""Pickling-safe task descriptors for the parallel engine.
 
-A :class:`SynthesisTask` is one architectural point of the Fig. 3 outer
-loop: a (core spec, communication spec, configuration) triple plus an
-opaque ``key`` the caller uses to file the merged result. Tasks are plain
-frozen dataclasses built only from the spec/config/library value objects,
-so they cross a ``ProcessPoolExecutor`` boundary untouched — no open file
-handles, no RNG state, no references back into the parent's topology
-objects.
+Two task granularities cross the ``ProcessPoolExecutor`` boundary:
 
-Infeasible points (a single flow exceeding link capacity) are marked
+* :class:`SynthesisTask` — one architectural point of the Fig. 3 outer
+  loop: a (core spec, communication spec, configuration) triple plus an
+  opaque ``key`` the caller uses to file the merged result. The worker
+  runs the *whole* staged flow for that point.
+* :class:`CandidateTask` — one connectivity candidate *inside* a synthesis
+  run: the same value objects plus a pre-built
+  :class:`~repro.core.assignment.Assignment` and the pipeline's stage
+  sequence. ``synthesize(..., jobs=N)`` fans these out so a single run
+  parallelises across its own switch-count sweep.
+
+Tasks are plain frozen dataclasses built only from spec/config/library
+value objects (and, for candidates, stateless stage instances), so they
+pickle untouched — no open file handles, no RNG state, no references back
+into the parent's topology objects.
+
+Infeasible sweep points (a single flow exceeding link capacity) are marked
 ``skip=True`` at task-build time and short-circuit to an empty
 :class:`~repro.core.design_point.SynthesisResult` without paying a worker
 round-trip, mirroring the serial sweeps' behaviour.
@@ -16,11 +25,10 @@ round-trip, mirroring the serial sweeps' behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
 
 from repro.core.config import SynthesisConfig
-from repro.core.design_point import SynthesisResult
 from repro.models.library import NocLibrary
 from repro.spec.comm_spec import CommSpec
 from repro.spec.core_spec import CoreSpec
@@ -40,6 +48,9 @@ class SynthesisTask:
             parameter already applied via ``SynthesisConfig.with_``).
         library: Component library; ``None`` selects the default library in
             the worker (cheaper to pickle).
+        stages: Optional stage sequence (names or instances, see
+            :func:`repro.core.pipeline.build_pipeline`) substituting the
+            default pipeline in the worker.
         skip: Pre-determined infeasible point — the engine returns an empty
             result without running synthesis.
         skip_reason: Human-readable note for reports/logs.
@@ -50,13 +61,40 @@ class SynthesisTask:
     comm_spec: CommSpec
     config: SynthesisConfig
     library: Optional[NocLibrary] = None
+    stages: Optional[Tuple] = None
     skip: bool = False
     skip_reason: str = ""
+
+
+@dataclass(frozen=True)
+class CandidateTask:
+    """One candidate evaluation of a single synthesis run (``jobs=N``).
+
+    The ``stages`` tuple carries the parent pipeline's stage instances so
+    substituted stages survive the process boundary; stages must therefore
+    be defined at module top level (see :class:`repro.core.pipeline.Stage`).
+    """
+
+    key: Hashable
+    core_spec: CoreSpec
+    comm_spec: CommSpec
+    config: SynthesisConfig
+    assignment: object
+    library: Optional[NocLibrary] = None
+    stages: Optional[Tuple] = None
+    #: Parent-generated token identifying the run's FlowContext; candidate
+    #: tasks sharing a token share the rebuilt context in the worker.
+    context_token: Optional[str] = None
 
 
 @dataclass
 class TaskResult:
     """Outcome of one task: a result or a captured error, never both.
+
+    ``result`` is a :class:`~repro.core.design_point.SynthesisResult` for a
+    :class:`SynthesisTask` and a
+    :class:`~repro.core.pipeline.CandidateOutcome` for a
+    :class:`CandidateTask`.
 
     Workers never raise across the process boundary; errors are captured so
     the executor can re-raise them *deterministically* (first failing task
@@ -65,7 +103,7 @@ class TaskResult:
     """
 
     key: Hashable
-    result: Optional[SynthesisResult] = None
+    result: Optional[object] = None
     error: Optional[BaseException] = None
     elapsed_s: float = 0.0
     skipped: bool = False
@@ -75,21 +113,27 @@ class TaskResult:
         return self.error is None
 
 
-def run_task(task: SynthesisTask) -> TaskResult:
-    """Execute one synthesis task (worker entry point — must stay
-    importable at module top level for pickling)."""
+def run_task(task) -> TaskResult:
+    """Execute one engine task (worker entry point — must stay importable
+    at module top level for pickling)."""
     import time
 
+    if isinstance(task, CandidateTask):
+        return _run_candidate_task(task)
     if task.skip:
+        from repro.core.design_point import SynthesisResult
+
         return TaskResult(key=task.key, result=SynthesisResult(), skipped=True)
     start = time.perf_counter()
     try:
-        from repro.core.synthesis import SunFloor3D
+        from repro.core.pipeline import build_pipeline
+        from repro.core.synthesis import synthesize
 
-        tool = SunFloor3D(
-            task.core_spec, task.comm_spec, task.library, task.config
+        pipeline = build_pipeline(task.stages) if task.stages else None
+        result = synthesize(
+            task.core_spec, task.comm_spec, task.library, task.config,
+            pipeline=pipeline,
         )
-        result = tool.synthesize()
     except BaseException as exc:  # re-raised in the parent, in task order
         return TaskResult(
             key=task.key, error=exc, elapsed_s=time.perf_counter() - start
@@ -97,3 +141,63 @@ def run_task(task: SynthesisTask) -> TaskResult:
     return TaskResult(
         key=task.key, result=result, elapsed_s=time.perf_counter() - start
     )
+
+
+def _run_candidate_task(task: CandidateTask) -> TaskResult:
+    import time
+
+    start = time.perf_counter()
+    try:
+        from repro.core.pipeline import build_pipeline
+
+        ctx = _candidate_context(task)
+        pipeline = build_pipeline(task.stages)
+        state = pipeline.evaluate(ctx, task.assignment)
+    except BaseException as exc:
+        return TaskResult(
+            key=task.key, error=exc, elapsed_s=time.perf_counter() - start
+        )
+    return TaskResult(
+        key=task.key,
+        result=state.outcome(),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+#: Single-slot per-process context cache: consecutive candidate tasks of one
+#: run share the validated specs / comm graph instead of rebuilding them per
+#: candidate. Keyed by the parent's unique ``context_token`` so the cache can
+#: never serve a stale context to a different run.
+_CTX_CACHE: dict = {}
+
+
+def seed_context(token: str, ctx) -> None:
+    """Pre-seed the candidate-context cache (parent side, before fan-out).
+
+    Fork-context workers inherit the seeded slot, so no worker — nor the
+    executor's in-process serial fallback — pays spec validation and comm
+    graph construction again per candidate. Pair with
+    :func:`release_context` once the batch is merged.
+    """
+    _CTX_CACHE.clear()
+    _CTX_CACHE[token] = ctx
+
+
+def release_context(token: str) -> None:
+    """Drop a seeded context so the run's specs don't outlive the run."""
+    _CTX_CACHE.pop(token, None)
+
+
+def _candidate_context(task: CandidateTask):
+    from repro.core.pipeline import FlowContext
+
+    token = task.context_token
+    if token is not None and token in _CTX_CACHE:
+        return _CTX_CACHE[token]
+    ctx = FlowContext.build(
+        task.core_spec, task.comm_spec, task.library, task.config
+    )
+    if token is not None:
+        _CTX_CACHE.clear()
+        _CTX_CACHE[token] = ctx
+    return ctx

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.registry import get_benchmark
 from repro.core.config import SynthesisConfig
 from repro.core.design_point import SynthesisResult
-from repro.core.synthesis import SunFloor3D
+from repro.core.pipeline import FlowContext, run_synthesis
 from repro.errors import SpecError
 
 Row = Dict[str, object]
@@ -123,8 +123,8 @@ def synthesize_cached(
         config = config.with_(phase="phase1")
     else:
         raise SpecError(f"dims must be '2d' or '3d', got {dims!r}")
-    tool = SunFloor3D(core_spec, bench.comm_spec, config=config)
-    return tool.synthesize()
+    ctx = FlowContext.build(core_spec, bench.comm_spec, config=config)
+    return run_synthesis(ctx)
 
 
 def best_power_point(benchmark_name: str, dims: str, config: SynthesisConfig):

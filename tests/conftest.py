@@ -9,6 +9,14 @@ from repro.spec.comm_spec import CommSpec, MessageType, TrafficFlow
 from repro.spec.core_spec import Core, CoreSpec
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: annealer/simulator/experiment-heavy test "
+        "(deselect with -m 'not slow', e.g. via make test-fast)",
+    )
+
+
 def grid_core_spec(n: int, num_layers: int, side: float = 1.0, gap: float = 0.3) -> CoreSpec:
     """n unit cores laid out on a non-overlapping grid, round-robin layers.
 

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.floorplan.annealer import anneal_floorplan
 from repro.floorplan.geometry import Rect, rects_overlap
 from repro.floorplan.sequence_pair import SequencePair

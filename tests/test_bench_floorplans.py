@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.bench.floorplans import floorplan_2d, floorplan_3d
 from repro.graphs.comm_graph import build_comm_graph
 from repro.spec.comm_spec import CommSpec, TrafficFlow

@@ -7,6 +7,7 @@ from repro.spec.io import save_comm_spec_text, save_core_spec_text
 
 
 class TestBenchmarksCommand:
+    @pytest.mark.slow  # builds every benchmark's annealed floorplan
     def test_lists_benchmarks(self, capsys):
         assert main(["benchmarks"]) == 0
         out = capsys.readouterr().out
@@ -35,6 +36,24 @@ class TestSynthCommand:
         ])
         assert rc == 0
         assert "best design point" in capsys.readouterr().out
+
+    def test_stage_timings_and_jobs(self, tmp_path, capsys, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cores_path = tmp_path / "cores.txt"
+        comm_path = tmp_path / "comm.txt"
+        save_core_spec_text(core_spec, cores_path)
+        save_comm_spec_text(comm_spec, comm_path)
+        rc = main([
+            "synth", "--cores", str(cores_path), "--comm", str(comm_path),
+            "--max-ill", "10", "--switches", "2:3",
+            "--stage-timings", "--jobs", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-stage timings" in out
+        for stage in ("precheck", "routing", "placement_lp", "metrics"):
+            assert stage in out
+        assert "best design point" in out
 
     def test_missing_comm_errors(self, tmp_path, capsys, tiny_specs):
         core_spec, _ = tiny_specs

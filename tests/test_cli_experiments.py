@@ -9,6 +9,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+pytestmark = pytest.mark.slow
+
 
 class TestParser:
     def test_parser_subcommands(self):

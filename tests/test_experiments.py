@@ -143,6 +143,7 @@ class TestComparisons:
         row = table.rows[0]
         assert row["power_saving_pct"] > 0
 
+    @pytest.mark.slow  # synthesizes with the constrained (annealing) floorplanner
     def test_floorplan_comparison(self):
         t18 = run_area_vs_switches("d26_media", SMALL)
         assert len(t18.rows) >= 2

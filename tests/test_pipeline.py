@@ -1,0 +1,271 @@
+"""The staged synthesis pipeline (repro.core.pipeline)."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import (
+    DEFAULT_STAGE_NAMES,
+    CandidateOutcome,
+    CandidateRequest,
+    FlowContext,
+    LatencyVerifyStage,
+    Phase1ThetaRequeuePolicy,
+    Phase2SingleRoundPolicy,
+    Pipeline,
+    Stage,
+    StageTimings,
+    build_pipeline,
+    register_stage,
+    run_synthesis,
+    vertical_link_specs,
+)
+from repro.core.synthesis import SunFloor3D, synthesize
+from repro.errors import SynthesisError
+from repro.floorplan.geometry import Rect
+from repro.floorplan.placement import ChipFloorplan, PlacedComponent
+from repro.noc.topology import Topology
+from repro.spec.core_spec import Core, CoreSpec
+
+
+class CountingVerifyStage(LatencyVerifyStage):
+    """Top-level (picklable) stage that counts its executions."""
+
+    calls = 0
+
+    def run(self, ctx, state):
+        type(self).calls += 1
+        super().run(ctx, state)
+
+
+class TestPipelineConstruction:
+    def test_default_stage_sequence(self):
+        pipeline = build_pipeline()
+        assert pipeline.stage_names == DEFAULT_STAGE_NAMES
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_pipeline(["precheck", "nope"])
+
+    def test_override_unknown_slot_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_pipeline(overrides={"nope": LatencyVerifyStage()})
+
+    def test_registry_override_substitutes_one_stage(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        CountingVerifyStage.calls = 0
+        pipeline = build_pipeline(overrides={"verify": CountingVerifyStage()})
+        assert pipeline.stage_names == DEFAULT_STAGE_NAMES
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        tool = SunFloor3D(core_spec, comm_spec, config=cfg, pipeline=pipeline)
+        result = tool.synthesize()
+        assert not result.is_empty
+        assert CountingVerifyStage.calls >= len(result.points)
+
+    def test_register_stage_requires_name(self):
+        with pytest.raises(SynthesisError):
+            @register_stage
+            class Nameless(Stage):
+                pass
+
+
+class TestStageTimings:
+    def test_timings_collected_per_stage(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        timings = StageTimings()
+        cfg = SynthesisConfig(max_ill=10)
+        result = synthesize(core_spec, comm_spec, config=cfg, timings=timings)
+        assert not result.is_empty
+        # Every candidate hits the precheck; every valid point reached metrics.
+        assert timings.count("precheck") >= len(result.points)
+        assert timings.count("metrics") == len(result.points)
+        for name in DEFAULT_STAGE_NAMES:
+            assert timings.total_s(name) >= 0.0
+        report = timings.report()
+        for name in DEFAULT_STAGE_NAMES:
+            assert name in report
+        assert set(timings.as_dict()) == set(DEFAULT_STAGE_NAMES)
+
+    def test_tool_records_last_timings(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        tool = SunFloor3D(core_spec, comm_spec,
+                          config=SynthesisConfig(max_ill=10))
+        assert tool.last_stage_timings is None
+        tool.synthesize()
+        assert tool.last_stage_timings.count("routing") > 0
+
+
+class TestSerialParallelEquivalence:
+    def test_jobs_produce_identical_results(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cfg = SynthesisConfig(max_ill=10)
+        serial = synthesize(core_spec, comm_spec, config=cfg, jobs=1)
+        parallel = synthesize(core_spec, comm_spec, config=cfg, jobs=4)
+        assert len(serial.points) == len(parallel.points) > 0
+        for a, b in zip(serial.points, parallel.points):
+            assert a.assignment == b.assignment
+            assert a.metrics.total_power_mw == b.metrics.total_power_mw
+            assert a.metrics.avg_latency_cycles == b.metrics.avg_latency_cycles
+            assert a.metrics.per_flow_latency == b.metrics.per_flow_latency
+            assert a.die_area_mm2 == b.die_area_mm2
+            assert a.topology.routes == b.topology.routes
+        assert serial.unmet_switch_counts == parallel.unmet_switch_counts
+
+    def test_parallel_collects_stage_timings(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 4))
+        timings = StageTimings()
+        result = synthesize(core_spec, comm_spec, config=cfg, jobs=2,
+                            timings=timings)
+        assert not result.is_empty
+        assert timings.count("metrics") == len(result.points)
+
+    def test_parallel_phase2_matches_serial(self, small_specs):
+        core_spec, comm_spec = small_specs
+        cfg = SynthesisConfig(max_ill=12, phase="phase2")
+        serial = synthesize(core_spec, comm_spec, config=cfg, jobs=1)
+        parallel = synthesize(core_spec, comm_spec, config=cfg, jobs=3)
+        assert [p.assignment for p in serial.points] == \
+            [p.assignment for p in parallel.points]
+        assert [p.total_power_mw for p in serial.points] == \
+            [p.total_power_mw for p in parallel.points]
+        assert serial.unmet_switch_counts == parallel.unmet_switch_counts
+
+
+class TestPhase2UnmetTracking:
+    def test_count_met_by_later_candidate_is_not_unmet(self):
+        """Regression: a failing candidate must not leave its switch count
+        in the unmet set when another candidate at that count succeeds."""
+        from repro.core.design_point import SynthesisResult
+
+        policy = Phase2SingleRoundPolicy()
+        requests = [
+            CandidateRequest(None, 3),
+            CandidateRequest(None, 3),
+            CandidateRequest(None, 4),
+        ]
+        outcomes = [
+            CandidateOutcome(point=None, failed_stage="routing"),
+            CandidateOutcome(point=object()),  # count 3 met after all
+            CandidateOutcome(point=None, failed_stage="verify"),
+        ]
+        assert policy.next_round(None, requests, outcomes) == []
+        result = SynthesisResult()
+        policy.finalize(None, result)
+        assert result.unmet_switch_counts == [4]
+
+    def test_end_to_end_unmet_disjoint_from_met(self, small_specs):
+        core_spec, comm_spec = small_specs
+        cfg = SynthesisConfig(max_ill=12, phase="phase2")
+        result = synthesize(core_spec, comm_spec, config=cfg)
+        met = {p.assignment.num_switches for p in result.points}
+        assert not met & set(result.unmet_switch_counts)
+
+
+class TestPhase1RequeuePolicy:
+    def test_theta_exhaustion_records_unmet(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        ctx = FlowContext.build(
+            core_spec, comm_spec,
+            config=SynthesisConfig(max_ill=10, theta_min=1.0, theta_max=1.0,
+                                   theta_step=1.0, switch_count_range=(2, 3)),
+        )
+        policy = Phase1ThetaRequeuePolicy()
+        requests = policy.initial_requests(ctx)
+        assert [r.count for r in requests] == [2, 3]
+        fail_all = [CandidateOutcome(point=None)] * len(requests)
+        retry = policy.next_round(ctx, requests, fail_all)
+        # One θ value: every failed count requeues exactly once, scaled.
+        assert [r.count for r in retry] == [2, 3]
+        assert all(r.theta == 1.0 for r in retry)
+        assert policy.next_round(ctx, retry, fail_all) == []
+        from repro.core.design_point import SynthesisResult
+
+        result = SynthesisResult()
+        policy.finalize(ctx, result)
+        assert result.unmet_switch_counts == [2, 3]
+
+    def test_success_stops_requeue(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        ctx = FlowContext.build(
+            core_spec, comm_spec,
+            config=SynthesisConfig(max_ill=10, switch_count_range=(2, 2)),
+        )
+        policy = Phase1ThetaRequeuePolicy()
+        requests = policy.initial_requests(ctx)
+        ok = [CandidateOutcome(point=object())] * len(requests)
+        assert policy.next_round(ctx, requests, ok) == []
+
+
+class TestVerticalLinkSpecs:
+    def _two_layer_gap_topology(self):
+        """One core on layer 0 attached to a switch two layers up."""
+        topo = Topology(frequency_mhz=400.0, width_bits=32)
+        topo.add_switch(layer=2)
+        topo.attach_core(0, 0, core_layer=0)
+        return topo
+
+    def test_missing_endpoint_raises_with_name(self):
+        topo = self._two_layer_gap_topology()
+        core_spec = CoreSpec(cores=[Core("C0", 1, 1, 0, 0, 0)])
+        with pytest.raises(SynthesisError, match="sw0"):
+            vertical_link_specs(topo, ChipFloorplan(), core_spec)
+
+    def test_present_endpoint_anchors_spec(self):
+        topo = self._two_layer_gap_topology()
+        core_spec = CoreSpec(cores=[Core("C0", 1, 1, 0, 0, 0)])
+        floorplan = ChipFloorplan()
+        floorplan.add(PlacedComponent(
+            name="sw0", kind="switch", rect=Rect(2.0, 3.0, 1.0, 1.0), layer=2,
+        ))
+        specs = vertical_link_specs(topo, floorplan, core_spec)
+        assert len(specs) == 2  # injection + ejection both span 2 layers
+        assert all(s.top_center == (2.5, 3.5) for s in specs)
+        assert all((s.lo_layer, s.hi_layer) == (0, 2) for s in specs)
+
+
+class TestEngineStagePassthrough:
+    def test_synthesis_task_runs_substituted_stages(self, tiny_specs):
+        """The sweep-level task path (engine/suites) honours a stage
+        substitution, so experiments can swap a stage suite-wide."""
+        from repro.engine.tasks import SynthesisTask, run_task
+
+        core_spec, comm_spec = tiny_specs
+        cfg = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+        stages = tuple(
+            CountingVerifyStage() if name == "verify" else name
+            for name in DEFAULT_STAGE_NAMES
+        )
+        CountingVerifyStage.calls = 0
+        substituted = run_task(SynthesisTask(
+            key="s", core_spec=core_spec, comm_spec=comm_spec, config=cfg,
+            stages=stages,
+        ))
+        default = run_task(SynthesisTask(
+            key="d", core_spec=core_spec, comm_spec=comm_spec, config=cfg,
+        ))
+        assert substituted.ok and default.ok
+        assert CountingVerifyStage.calls >= len(substituted.result.points)
+        assert [p.total_power_mw for p in substituted.result.points] == \
+            [p.total_power_mw for p in default.result.points]
+
+
+class TestCompatibilityWrappers:
+    def test_evaluate_assignment_still_works(self, tiny_specs):
+        from repro.core.phase1 import phase1_candidate
+
+        core_spec, comm_spec = tiny_specs
+        tool = SunFloor3D(core_spec, comm_spec,
+                          config=SynthesisConfig(max_ill=10))
+        assignment = phase1_candidate(tool.graph, tool.config, 2)
+        point = tool.evaluate_assignment(assignment)
+        assert point is not None
+        assert point.assignment == assignment
+        assert tool._try_point(assignment) is not None
+
+    def test_context_attributes_exposed(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        tool = SunFloor3D(core_spec, comm_spec)
+        assert tool.core_spec is core_spec
+        assert tool.graph.n == len(core_spec.names)
+        assert len(tool._core_centers) == tool.graph.n
+        assert tool._die_bounds[0] > 0

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.config import SynthesisConfig
 from repro.core.synthesis import synthesize
 from repro.errors import SynthesisError
