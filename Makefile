@@ -9,8 +9,8 @@ help:
 	@echo "  make test-fast  - tier-1 suite minus the 'slow' marker"
 	@echo "                    (annealer/simulator/experiment-heavy tests)"
 	@echo "  make check      - compileall smoke + full tier-1 suite"
-	@echo "  make bench      - CI-friendly engine scaling benchmark"
-	@echo "                    (writes BENCH_engine.json)"
+	@echo "  make bench      - CI-friendly engine scaling + floorplan anneal"
+	@echo "                    benchmark (writes BENCH_engine.json)"
 	@echo "  make bench-full - full engine scaling benchmark"
 	@echo "  make benchmarks - paper-figure benchmark harness (slow)"
 

@@ -1,0 +1,66 @@
+"""Floorplan annealing — incremental evaluator + multi-start scaling gate.
+
+Not a paper figure: this is the repo's own perf-trajectory gate for the
+:mod:`repro.floorplan.engine` overhaul. It runs
+:func:`repro.engine.benchmark.run_floorplan_benchmark` (the same routine
+whose numbers ``python -m repro.cli bench`` embeds in the ``floorplan``
+section of ``BENCH_engine.json``), echoes the numbers, and asserts
+
+* the incremental annealer and the frozen naive baseline of
+  :mod:`repro.floorplan.reference` produce *bit-identical* floorplans
+  (positions, sequence pair, area, wirelength, cost, move counts);
+* the incremental evaluator beats the naive baseline by >= 3x
+  single-threaded moves/sec (a same-core claim, asserted everywhere);
+* the K-restart multi-start merge is identical serial vs parallel, and —
+  only when the machine actually has >= 4 CPUs — the parallel leg beats
+  the serial one by >= 2x wall-clock. On smaller boxes (CI containers
+  pinned to one core) the speedup is recorded but not asserted, since a
+  CPU-bound speedup beyond the core count is physically impossible.
+"""
+
+import pytest
+
+from repro.engine.benchmark import run_floorplan_benchmark
+
+MULTISTART_JOBS = 4
+SINGLE_THREAD_SPEEDUP_FLOOR = 3.0
+MULTISTART_SPEEDUP_FLOOR = 2.0
+
+
+def _run():
+    return run_floorplan_benchmark(quick=True, jobs=MULTISTART_JOBS, log=print)
+
+
+def test_floorplan_anneal_speedup(benchmark):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(f"cpu_count={report['cpu_count']} "
+          f"single-thread={report['speedup']}x "
+          f"({report['incremental_moves_per_s']:,.0f} moves/s) "
+          f"multi-start={report['multistart']['speedup']}x")
+
+    # Bit-identity is the contract that makes the speedup meaningful.
+    assert report["identical_results"]
+    assert report["multistart"]["identical_results"]
+
+    # Single-threaded moves/sec: same core, so the floor holds everywhere.
+    assert report["speedup"] >= SINGLE_THREAD_SPEEDUP_FLOOR, (
+        f"incremental annealer speedup {report['speedup']}x below "
+        f"{SINGLE_THREAD_SPEEDUP_FLOOR}x"
+    )
+
+    # Multi-start scaling: only meaningful with cores to run on.
+    cpus = report["cpu_count"] or 1
+    multi = report["multistart"]
+    if cpus >= MULTISTART_JOBS:
+        assert multi["speedup"] >= MULTISTART_SPEEDUP_FLOOR, (
+            f"multi-start speedup {multi['speedup']}x on {multi['jobs']} "
+            f"worker(s) ({cpus} CPUs) below {MULTISTART_SPEEDUP_FLOOR}x"
+        )
+    else:
+        pytest.skip(
+            f"only {cpus} CPU(s) visible: recorded multi-start speedup "
+            f"{multi['speedup']}x without asserting the "
+            f"{MULTISTART_SPEEDUP_FLOOR}x floor (needs >= {MULTISTART_JOBS} "
+            "CPUs)"
+        )

@@ -6,8 +6,7 @@ annealing floorplans, so instances are cached per (name, seed).
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.bench import suites
 from repro.bench.builder import Benchmark
@@ -31,25 +30,51 @@ def list_benchmarks() -> List[str]:
     return sorted(_ALL)
 
 
-@lru_cache(maxsize=None)
+#: Built benchmarks keyed by everything that affects the *result* —
+#: ``floorplan_jobs`` is deliberately excluded: it only changes how the
+#: restarts execute (serial vs pooled), never what they produce, so a
+#: jobs-only difference must hit the cache instead of re-annealing.
+_CACHE: Dict[Tuple, Benchmark] = {}
+
+
 def get_benchmark(
-    name: str, seed: int = 0, floorplan_moves: int = 4000
+    name: str, seed: int = 0, floorplan_moves: int = 4000,
+    floorplan_restarts: int = 1, floorplan_jobs: int = 1,
 ) -> Benchmark:
     """Build (or fetch the cached) benchmark called ``name``."""
+    cache_key = (name, seed, floorplan_moves, floorplan_restarts)
+    cached = _CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    bench = _build_benchmark(
+        name, seed, floorplan_moves, floorplan_restarts, floorplan_jobs
+    )
+    _CACHE[cache_key] = bench
+    return bench
+
+
+def _build_benchmark(
+    name: str, seed: int, floorplan_moves: int,
+    floorplan_restarts: int, floorplan_jobs: int,
+) -> Benchmark:
+    kwargs = dict(
+        seed=seed, floorplan_moves=floorplan_moves,
+        floorplan_restarts=floorplan_restarts, floorplan_jobs=floorplan_jobs,
+    )
     if name == "d26_media":
-        return suites.d26_media(seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d26_media(**kwargs)
     if name == "d36_4":
-        return suites.d36(4, seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d36(4, **kwargs)
     if name == "d36_6":
-        return suites.d36(6, seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d36(6, **kwargs)
     if name == "d36_8":
-        return suites.d36(8, seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d36(8, **kwargs)
     if name == "d35_bot":
-        return suites.d35_bot(seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d35_bot(**kwargs)
     if name == "d65_pipe":
-        return suites.d65_pipe(seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d65_pipe(**kwargs)
     if name == "d38_tvopd":
-        return suites.d38_tvopd(seed=seed, floorplan_moves=floorplan_moves)
+        return suites.d38_tvopd(**kwargs)
     raise SpecError(
         f"unknown benchmark {name!r}; available: {', '.join(list_benchmarks())}"
     )

@@ -57,7 +57,10 @@ def _resp(src: str, dst: str, bw: float, lat: float) -> TrafficFlow:
 # D_26_media — 26-core multimedia + wireless SoC (Sec. VIII-A)
 # --------------------------------------------------------------------------
 
-def d26_media(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
+def d26_media(
+    seed: int = 0, floorplan_moves: int = 4000,
+    floorplan_restarts: int = 1, floorplan_jobs: int = 1,
+) -> Benchmark:
     """The realistic multimedia/wireless benchmark of the case study.
 
     "The system includes ARM, DSP cores, multiple memory banks, DMA engine
@@ -115,6 +118,7 @@ def d26_media(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
         "d26_media", cores, flows, num_layers=3,
         description="26-core multimedia & wireless SoC (3 layers)",
         seed=seed, floorplan_moves=floorplan_moves,
+        floorplan_restarts=floorplan_restarts, floorplan_jobs=floorplan_jobs,
     )
 
 
@@ -122,7 +126,10 @@ def d26_media(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
 # D_36_4 / D_36_6 / D_36_8 — distributed designs (Sec. VIII-B)
 # --------------------------------------------------------------------------
 
-def d36(flows_per_proc: int, seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
+def d36(
+    flows_per_proc: int, seed: int = 0, floorplan_moves: int = 4000,
+    floorplan_restarts: int = 1, floorplan_jobs: int = 1,
+) -> Benchmark:
     """18 processors + 18 memories; each processor talks to
     ``flows_per_proc`` memories; total bandwidth constant across variants."""
     if flows_per_proc not in (4, 6, 8):
@@ -155,6 +162,7 @@ def d36(flows_per_proc: int, seed: int = 0, floorplan_moves: int = 4000) -> Benc
             "processor (3 layers)"
         ),
         seed=seed, floorplan_moves=floorplan_moves,
+        floorplan_restarts=floorplan_restarts, floorplan_jobs=floorplan_jobs,
     )
 
 
@@ -162,7 +170,10 @@ def d36(flows_per_proc: int, seed: int = 0, floorplan_moves: int = 4000) -> Benc
 # D_35_bot — bottleneck design (Sec. VIII-B)
 # --------------------------------------------------------------------------
 
-def d35_bot(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
+def d35_bot(
+    seed: int = 0, floorplan_moves: int = 4000,
+    floorplan_restarts: int = 1, floorplan_jobs: int = 1,
+) -> Benchmark:
     """16 processors with private memories plus 3 shared memories all
     processors access."""
     n = 16
@@ -180,6 +191,7 @@ def d35_bot(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
         "d35_bot", cores, flows, num_layers=3,
         description="bottleneck: 16 proc + 16 private + 3 shared memories",
         seed=seed, floorplan_moves=floorplan_moves,
+        floorplan_restarts=floorplan_restarts, floorplan_jobs=floorplan_jobs,
     )
 
 
@@ -187,7 +199,10 @@ def d35_bot(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
 # D_65_pipe and D_38_tvopd — pipelined designs (Sec. VIII-B)
 # --------------------------------------------------------------------------
 
-def d65_pipe(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
+def d65_pipe(
+    seed: int = 0, floorplan_moves: int = 4000,
+    floorplan_restarts: int = 1, floorplan_jobs: int = 1,
+) -> Benchmark:
     """65 cores communicating in a pipeline fashion."""
     n = 65
     cores = [
@@ -199,10 +214,14 @@ def d65_pipe(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
         layer_strategy="min_cut",
         description="65-core pipeline (4 layers)",
         seed=seed, floorplan_moves=floorplan_moves,
+        floorplan_restarts=floorplan_restarts, floorplan_jobs=floorplan_jobs,
     )
 
 
-def d38_tvopd(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
+def d38_tvopd(
+    seed: int = 0, floorplan_moves: int = 4000,
+    floorplan_restarts: int = 1, floorplan_jobs: int = 1,
+) -> Benchmark:
     """38-core pipelined design where "each core communicates only to one or
     few other cores" (a video object-plane-decoder-like structure)."""
     n = 38
@@ -221,6 +240,7 @@ def d38_tvopd(seed: int = 0, floorplan_moves: int = 4000) -> Benchmark:
         layer_strategy="min_cut",
         description="38-core pipelined video decoder (3 layers)",
         seed=seed, floorplan_moves=floorplan_moves,
+        floorplan_restarts=floorplan_restarts, floorplan_jobs=floorplan_jobs,
     )
 
 

@@ -7,6 +7,9 @@ Sub-commands:
   trade-off points and the chosen design; ``--jobs N`` fans candidate
   evaluation across the engine pool and ``--stage-timings`` prints the
   per-stage wall-clock breakdown of the staged pipeline.
+  ``--floorplanner constrained`` selects the Sec. VIII-D baseline, with
+  ``--floorplan-restarts K`` / ``--floorplan-jobs N`` running K multi-start
+  anneals (fanned across the engine pool) per insertion.
 * ``sweep``      — explore an architectural design space (frequency × α ×
   link width) on the parallel engine (``--jobs``).
 * ``bench``      — run the engine scaling benchmark and write
@@ -59,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical either way)")
     synth.add_argument("--stage-timings", action="store_true",
                        help="print the per-stage wall-clock breakdown")
+    synth.add_argument("--floorplanner", choices=("custom", "constrained"),
+                       default="custom",
+                       help="NoC insertion routine: the paper's custom one "
+                            "or the constrained-annealer baseline")
+    synth.add_argument("--floorplan-restarts", type=int, default=1,
+                       help="multi-start annealing runs of the constrained "
+                            "floorplanner (best cost wins deterministically)")
+    synth.add_argument("--floorplan-jobs", type=int, default=1,
+                       help="worker processes for those restarts "
+                            "(0 = one per CPU, 1 = serial; results are "
+                            "identical either way)")
     synth.add_argument("--all-points", action="store_true",
                        help="print every valid design point")
     synth.add_argument("--verify", action="store_true",
@@ -159,12 +173,17 @@ def _load_specs(args):
 def _cmd_synth(args) -> int:
     core_spec, comm_spec = _load_specs(args)
     switch_range = _parse_switch_range(args.switches)
+    # Invalid knob combinations (e.g. --floorplan-restarts without
+    # --floorplanner constrained) are rejected by SynthesisConfig itself.
     config = SynthesisConfig(
         frequency_mhz=args.frequency,
         max_ill=args.max_ill,
         phase=args.phase,
         objective=args.objective,
         switch_count_range=switch_range,
+        floorplanner=args.floorplanner,
+        floorplan_restarts=args.floorplan_restarts,
+        floorplan_jobs=args.floorplan_jobs,
     )
     tool = SunFloor3D(core_spec, comm_spec, config=config)
     result = tool.synthesize(jobs=args.jobs)
@@ -269,10 +288,13 @@ def _cmd_bench(args) -> int:
     )
     sweep = report["sweep"]
     paths = report["compute_paths"]
+    floorplan = report["floorplan"]
     print(
         f"\nsummary: sweep speedup {sweep['speedup']}x on {sweep['jobs']} "
         f"worker(s) ({report['cpu_count']} CPU(s) visible), "
-        f"compute_paths speedup {paths['speedup']}x"
+        f"compute_paths speedup {paths['speedup']}x, "
+        f"floorplan anneal speedup {floorplan['speedup']}x "
+        f"({floorplan['incremental_moves_per_s']:,.0f} moves/s)"
     )
     return 0
 

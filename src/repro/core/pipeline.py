@@ -418,7 +418,9 @@ class FloorplanStage(Stage):
                     )
                 else:
                     placed = constrained_insert(
-                        existing, new_components, seed=ctx.config.seed
+                        existing, new_components, seed=ctx.config.seed,
+                        restarts=ctx.config.floorplan_restarts,
+                        jobs=ctx.config.floorplan_jobs,
                     )
             else:
                 placed = existing

@@ -1,6 +1,6 @@
-"""The engine scaling benchmark: sweep parallelism + routing hot path.
+"""The engine scaling benchmark: sweep parallelism + hot paths.
 
-Measures the two claims this subsystem makes and writes them to
+Measures the claims this subsystem makes and writes them to
 ``BENCH_engine.json`` so the perf trajectory is tracked PR over PR:
 
 * **sweep scaling** — a frequency × α grid over a D_26-style synthetic
@@ -9,10 +9,16 @@ Measures the two claims this subsystem makes and writes them to
   design points are identical (order-normalised);
 * **routing hot path** — ``compute_paths`` (optimised) versus the frozen
   naive baseline of :mod:`repro.engine.reference` on the same design,
-  single-threaded; reports the speedup and checks route identity.
+  single-threaded; reports the speedup and checks route identity;
+* **floorplan annealing hot path** — the incremental
+  :mod:`repro.floorplan.engine` evaluator versus the frozen naive baseline
+  of :mod:`repro.floorplan.reference` on the same design's 2-D
+  floorplanning problem, single-threaded moves/sec plus the multi-start
+  serial/parallel leg, with bit-identity checks.
 
-Shared by ``python -m repro.cli bench`` and
-``benchmarks/bench_engine_scaling.py``.
+Shared by ``python -m repro.cli bench``,
+``benchmarks/bench_engine_scaling.py`` and
+``benchmarks/bench_floorplan_anneal.py``.
 """
 
 from __future__ import annotations
@@ -110,6 +116,7 @@ def run_engine_benchmark(
     )
 
     paths_report = _bench_compute_paths(bench, recorder, say)
+    floorplan_report = _bench_floorplan(bench, recorder, say, workers, quick)
 
     report = {
         "benchmark": "engine-scaling",
@@ -129,10 +136,32 @@ def run_engine_benchmark(
             "valid_points": sum(len(r.result.points) for r in serial),
         },
         "compute_paths": paths_report,
+        "floorplan": floorplan_report,
     }
     if output:
         recorder.write_json(output, extra=report)
         say(f"wrote {output}")
+    return report
+
+
+def run_floorplan_benchmark(
+    *,
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run only the floorplan-annealing measurement (no sweep, no routing).
+
+    Used by ``benchmarks/bench_floorplan_anneal.py`` for a focused gate;
+    ``run_engine_benchmark`` embeds the same section in
+    ``BENCH_engine.json``.
+    """
+    say = log if log is not None else (lambda _msg: None)
+    recorder = ProfileRecorder()
+    workers = max(2, resolve_jobs(jobs))
+    bench = _design()
+    report = _bench_floorplan(bench, recorder, say, workers, quick)
+    report["cpu_count"] = os.cpu_count()
     return report
 
 
@@ -186,4 +215,101 @@ def _bench_compute_paths(
         "optimized_s": round(optimized_s, 5),
         "speedup": round(speedup, 3),
         "routes_identical": identical,
+    }
+
+
+#: Multi-start restart count of the floorplan benchmark's parallel leg.
+_FLOORPLAN_RESTARTS = 4
+
+
+def _bench_floorplan(
+    bench, recorder: ProfileRecorder, say: Callable[[str], None],
+    workers: int, quick: bool,
+) -> Dict:
+    """Incremental vs naive annealing moves/sec + multi-start scaling.
+
+    Both anneals run the same problem — the benchmark design's 2-D
+    floorplan (blocks + bandwidth-weighted nets) — with identical seeds;
+    results must be bit-identical, so the speedup is pure evaluation cost.
+    """
+    from repro.bench.floorplans import _bandwidth_nets
+    from repro.floorplan.annealer import anneal_floorplan
+    from repro.floorplan.reference import naive_anneal_floorplan
+    from repro.graphs.comm_graph import build_comm_graph
+
+    core_spec = bench.core_spec_2d
+    graph = build_comm_graph(core_spec, bench.comm_spec)
+    widths = [c.width for c in core_spec]
+    heights = [c.height for c in core_spec]
+    nets = _bandwidth_nets(graph, list(range(len(core_spec))))
+    moves = 1500 if quick else 4000
+    kwargs = dict(wirelength_weight=1.0, seed=7, moves=moves)
+
+    # Warm both code paths (numpy import, rng digest) off the clock.
+    anneal_floorplan(widths, heights, nets, **{**kwargs, "moves": 50})
+    naive_anneal_floorplan(widths, heights, nets, **{**kwargs, "moves": 50})
+
+    incremental = naive = None
+    for _ in range(3):
+        with recorder.time("floorplan_incremental", moves=moves):
+            incremental = anneal_floorplan(widths, heights, nets, **kwargs)
+        with recorder.time("floorplan_naive", moves=moves):
+            naive = naive_anneal_floorplan(widths, heights, nets, **kwargs)
+    incremental_s = recorder.best_s("floorplan_incremental")
+    naive_s = recorder.best_s("floorplan_naive")
+    identical = incremental == naive
+    speedup = naive_s / incremental_s if incremental_s > 0 else float("inf")
+    say(
+        f"floorplan: naive {moves / naive_s:,.0f} moves/s, incremental "
+        f"{moves / incremental_s:,.0f} moves/s -> {speedup:.2f}x "
+        f"(identical results: {identical})"
+    )
+
+    # Multi-start leg: K restarts serial vs fanned across the pool.
+    # Best-of-3 like the single-thread leg, so one scheduler stall (or the
+    # pool creation inside the timed region) cannot flip the scaling gate.
+    multi_kwargs = dict(kwargs, restarts=_FLOORPLAN_RESTARTS)
+    anneal_floorplan(  # warm the pool code path
+        widths, heights, nets, **{**multi_kwargs, "moves": 50}, jobs=workers
+    )
+    serial = parallel = None
+    for _ in range(3):
+        with recorder.time("floorplan_multistart_serial"):
+            serial = anneal_floorplan(
+                widths, heights, nets, **multi_kwargs, jobs=1
+            )
+        with recorder.time("floorplan_multistart_parallel", jobs=workers):
+            parallel = anneal_floorplan(
+                widths, heights, nets, **multi_kwargs, jobs=workers
+            )
+    serial_s = recorder.best_s("floorplan_multistart_serial")
+    parallel_s = recorder.best_s("floorplan_multistart_parallel")
+    multi_identical = serial == parallel
+    multi_speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    say(
+        f"floorplan multi-start: serial {serial_s:.2f}s, parallel({workers}) "
+        f"{parallel_s:.2f}s -> {multi_speedup:.2f}x "
+        f"(identical merge: {multi_identical}, "
+        f"winner restart {serial.restart_index})"
+    )
+
+    return {
+        "blocks": len(widths),
+        "nets": len(nets),
+        "moves": moves,
+        "naive_s": round(naive_s, 5),
+        "incremental_s": round(incremental_s, 5),
+        "naive_moves_per_s": round(moves / naive_s, 1),
+        "incremental_moves_per_s": round(moves / incremental_s, 1),
+        "speedup": round(speedup, 3),
+        "identical_results": identical,
+        "multistart": {
+            "restarts": _FLOORPLAN_RESTARTS,
+            "jobs": workers,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(multi_speedup, 3),
+            "identical_results": multi_identical,
+            "winner_restart": serial.restart_index,
+        },
     }

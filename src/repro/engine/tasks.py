@@ -11,6 +11,10 @@ Two task granularities cross the ``ProcessPoolExecutor`` boundary:
   :class:`~repro.core.assignment.Assignment` and the pipeline's stage
   sequence. ``synthesize(..., jobs=N)`` fans these out so a single run
   parallelises across its own switch-count sweep.
+* :class:`FloorplanTask` / :class:`ConstrainedInsertTask` — one restart of
+  a multi-start floorplan anneal (``anneal_floorplan(restarts=K, jobs=N)``
+  and the constrained inserter's equivalent). Restarts are independently
+  seeded, so the parent merges them deterministically by best cost.
 
 Tasks are plain frozen dataclasses built only from spec/config/library
 value objects (and, for candidates, stateless stage instances), so they
@@ -87,6 +91,50 @@ class CandidateTask:
     context_token: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class FloorplanTask:
+    """One restart of a multi-start floorplan anneal.
+
+    ``nets``/``anchors`` are the net dicts' ``items()`` tuples — tuples
+    pickle cheaply and preserve declaration order, which the incremental
+    evaluator's fixed-order wirelength summation depends on. ``initial_sp``
+    is shared across restarts so the grid seed pair is built once.
+    """
+
+    key: Hashable
+    widths: Tuple[float, ...]
+    heights: Tuple[float, ...]
+    nets: Tuple = ()
+    anchors: Tuple = ()
+    wirelength_weight: float = 1.0
+    seed: int = 0
+    moves: int = 4000
+    initial_temperature: float = 1.0
+    cooling: float = 0.995
+    initial_sp: Optional[object] = None
+    restart: int = 0
+
+
+@dataclass(frozen=True)
+class ConstrainedInsertTask:
+    """One restart of a multi-start constrained insertion (Sec. VIII-D).
+
+    Carries the placed/new component dataclasses verbatim; the worker
+    re-derives the (cheap) annealing problem and returns
+    ``(best_cost, best_sequence_pair)`` so the parent packs the winner once.
+    """
+
+    key: Hashable
+    existing: Tuple = ()
+    new_components: Tuple = ()
+    seed: int = 0
+    moves: int = 3000
+    displacement_weight: float = 1.0
+    initial_temperature: float = 1.0
+    cooling: float = 0.995
+    restart: int = 0
+
+
 @dataclass
 class TaskResult:
     """Outcome of one task: a result or a captured error, never both.
@@ -116,52 +164,74 @@ class TaskResult:
 def run_task(task) -> TaskResult:
     """Execute one engine task (worker entry point — must stay importable
     at module top level for pickling)."""
-    import time
-
     if isinstance(task, CandidateTask):
         return _run_candidate_task(task)
+    if isinstance(task, FloorplanTask):
+        return _run_floorplan_task(task)
+    if isinstance(task, ConstrainedInsertTask):
+        return _run_constrained_task(task)
     if task.skip:
         from repro.core.design_point import SynthesisResult
 
         return TaskResult(key=task.key, result=SynthesisResult(), skipped=True)
-    start = time.perf_counter()
-    try:
+
+    def body():
         from repro.core.pipeline import build_pipeline
         from repro.core.synthesis import synthesize
 
         pipeline = build_pipeline(task.stages) if task.stages else None
-        result = synthesize(
+        return synthesize(
             task.core_spec, task.comm_spec, task.library, task.config,
             pipeline=pipeline,
         )
-    except BaseException as exc:  # re-raised in the parent, in task order
-        return TaskResult(
-            key=task.key, error=exc, elapsed_s=time.perf_counter() - start
-        )
-    return TaskResult(
-        key=task.key, result=result, elapsed_s=time.perf_counter() - start
-    )
+
+    return _timed_task(task.key, body)
 
 
-def _run_candidate_task(task: CandidateTask) -> TaskResult:
+def _timed_task(key, fn) -> TaskResult:
+    """Run one task body, capturing wall clock and any error (never raises
+    across the process boundary — the executor re-raises deterministically)."""
     import time
 
     start = time.perf_counter()
     try:
+        result = fn()
+    except BaseException as exc:
+        return TaskResult(
+            key=key, error=exc, elapsed_s=time.perf_counter() - start
+        )
+    return TaskResult(
+        key=key, result=result, elapsed_s=time.perf_counter() - start
+    )
+
+
+def _run_floorplan_task(task: FloorplanTask) -> TaskResult:
+    def body():
+        from repro.floorplan.annealer import run_anneal_restart
+
+        return run_anneal_restart(task)
+
+    return _timed_task(task.key, body)
+
+
+def _run_constrained_task(task: ConstrainedInsertTask) -> TaskResult:
+    def body():
+        from repro.floorplan.constrained import run_insertion_restart
+
+        return run_insertion_restart(task)
+
+    return _timed_task(task.key, body)
+
+
+def _run_candidate_task(task: CandidateTask) -> TaskResult:
+    def body():
         from repro.core.pipeline import build_pipeline
 
         ctx = _candidate_context(task)
         pipeline = build_pipeline(task.stages)
-        state = pipeline.evaluate(ctx, task.assignment)
-    except BaseException as exc:
-        return TaskResult(
-            key=task.key, error=exc, elapsed_s=time.perf_counter() - start
-        )
-    return TaskResult(
-        key=task.key,
-        result=state.outcome(),
-        elapsed_s=time.perf_counter() - start,
-    )
+        return pipeline.evaluate(ctx, task.assignment).outcome()
+
+    return _timed_task(task.key, body)
 
 
 #: Single-slot per-process context cache: consecutive candidate tasks of one

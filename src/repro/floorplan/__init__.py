@@ -15,6 +15,13 @@ Three roles (paper Secs. VII and VIII-D):
 
 :mod:`repro.floorplan.tsv_macros` places the TSV area-reservation macros of
 Sec. III for every vertical link.
+
+Both annealing loops run on the incremental evaluation engine of
+:mod:`repro.floorplan.engine` (in-place moves with undo, allocation-free
+packing, delta wirelength) and support deterministic multi-start
+(``restarts=K, jobs=N`` over the :mod:`repro.engine` pool). The frozen
+pre-optimisation baselines live in :mod:`repro.floorplan.reference` — see
+``docs/floorplan.md``.
 """
 
 from repro.floorplan.geometry import Rect, bounding_box, rects_overlap

@@ -10,16 +10,27 @@ wirelength``; both terms are normalised by their initial values so the weight
 is dimensionless. Moves are the three classic sequence-pair perturbations
 (swap in Gamma+, swap in Gamma-, swap in both). Rotation moves are omitted:
 core aspect ratios are part of the benchmark inputs.
+
+The annealing loop runs on the incremental
+:class:`~repro.floorplan.engine._AnnealState` evaluator — in-place moves
+with undo, allocation-free packing and delta wirelength — and reproduces
+the frozen naive baseline of :mod:`repro.floorplan.reference` bit for bit
+(asserted by the regression suite). ``restarts=K`` runs K independently
+seeded anneals and keeps the best; ``jobs=N`` fans the restarts across the
+:mod:`repro.engine` process pool with a deterministic best-cost /
+lowest-restart merge, so serial and parallel multi-start runs are
+identical.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.floorplan.sequence_pair import SequencePair, seqpair_to_positions
-from repro.rng import make_rng
+from repro.floorplan.engine import _AnnealState
+from repro.floorplan.sequence_pair import SequencePair
+from repro.rng import restart_rng
 
 #: Wirelength "nets": ((block_i, block_j) -> weight); external attractors are
 #: ((block_i, (x, y)) -> weight) entries keyed by index and a fixed point.
@@ -29,7 +40,11 @@ AnchorNets = Mapping[Tuple[int, Tuple[float, float]], float]
 
 @dataclass
 class FloorplanResult:
-    """Output of :func:`anneal_floorplan`."""
+    """Output of :func:`anneal_floorplan`.
+
+    For multi-start runs ``moves_evaluated`` counts moves across *all*
+    restarts, and ``restart_index`` identifies the winning restart.
+    """
 
     positions: List[Tuple[float, float]]
     sequence_pair: SequencePair
@@ -37,6 +52,7 @@ class FloorplanResult:
     wirelength: float
     cost: float
     moves_evaluated: int
+    restart_index: int = 0
 
 
 def anneal_floorplan(
@@ -51,6 +67,8 @@ def anneal_floorplan(
     initial_temperature: float = 1.0,
     cooling: float = 0.995,
     initial_sp: Optional[SequencePair] = None,
+    restarts: int = 1,
+    jobs: Optional[int] = 1,
 ) -> FloorplanResult:
     """Floorplan ``n`` blocks minimising area + weighted wirelength.
 
@@ -63,11 +81,18 @@ def anneal_floorplan(
             floorplanning a 3-D stack layer by layer.
         wirelength_weight: Relative weight of wirelength vs. area (both are
             normalised by the initial solution's values).
-        seed: RNG seed; the run is fully deterministic.
-        moves: Number of annealing moves.
+        seed: RNG seed; the run is fully deterministic (restart 0 uses the
+            exact pre-multi-start stream, so ``restarts=1`` reproduces the
+            historical single-start trajectory).
+        moves: Number of annealing moves *per restart*.
         initial_temperature / cooling: Geometric schedule in normalised-cost
             units.
-        initial_sp: Optional starting sequence pair (default: identity).
+        initial_sp: Optional starting sequence pair (default: grid).
+        restarts: Independent annealing runs; the lowest-cost result wins,
+            ties broken by the lowest restart index.
+        jobs: Worker processes for the restarts — ``1`` (default) serial,
+            ``None``/``0`` one per CPU, ``n >= 2`` a pool of n. Results are
+            identical regardless of ``jobs``.
 
     Returns:
         The best found :class:`FloorplanResult` (not merely the final one).
@@ -77,21 +102,93 @@ def anneal_floorplan(
         raise ValueError("cannot floorplan zero blocks")
     if len(heights) != n:
         raise ValueError("widths and heights must have equal length")
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
     nets = dict(nets or {})
     anchors = dict(anchors or {})
 
-    rng = make_rng(seed, "floorplan-anneal")
     sp = initial_sp if initial_sp is not None else SequencePair.grid(n)
     if sp.n != n:
         raise ValueError(f"initial sequence pair has {sp.n} blocks, expected {n}")
 
-    def evaluate(sp_: SequencePair) -> Tuple[float, float, List[Tuple[float, float]]]:
-        pos = seqpair_to_positions(sp_, widths, heights)
-        area = _packed_area(pos, widths, heights)
-        wl = _wirelength(pos, widths, heights, nets, anchors)
-        return area, wl, pos
+    if restarts == 1:
+        return _anneal_restart(
+            widths, heights, nets, anchors,
+            wirelength_weight=wirelength_weight, seed=seed, moves=moves,
+            initial_temperature=initial_temperature, cooling=cooling,
+            initial_sp=sp, restart=0,
+        )
 
-    area0, wl0, pos0 = evaluate(sp)
+    # Multi-start: fan the restarts across the engine pool (lazy import —
+    # repro.engine depends on repro.floorplan, not vice versa).
+    from repro.engine.executor import run_tasks
+    from repro.engine.tasks import FloorplanTask
+
+    tasks = [
+        FloorplanTask(
+            key=restart,
+            widths=tuple(float(w) for w in widths),
+            heights=tuple(float(h) for h in heights),
+            nets=tuple(nets.items()),
+            anchors=tuple(anchors.items()),
+            wirelength_weight=wirelength_weight,
+            seed=seed,
+            moves=moves,
+            initial_temperature=initial_temperature,
+            cooling=cooling,
+            initial_sp=sp,
+            restart=restart,
+        )
+        for restart in range(restarts)
+    ]
+    results = run_tasks(tasks, jobs=jobs)
+    best: Optional[FloorplanResult] = None
+    total_evaluated = 0
+    for task_result in results:
+        candidate = task_result.result
+        total_evaluated += candidate.moves_evaluated
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    return replace(best, moves_evaluated=total_evaluated)
+
+
+def run_anneal_restart(task) -> FloorplanResult:
+    """Worker entry point for one :class:`~repro.engine.tasks.FloorplanTask`."""
+    return _anneal_restart(
+        list(task.widths), list(task.heights),
+        dict(task.nets), dict(task.anchors),
+        wirelength_weight=task.wirelength_weight, seed=task.seed,
+        moves=task.moves, initial_temperature=task.initial_temperature,
+        cooling=task.cooling, initial_sp=task.initial_sp,
+        restart=task.restart,
+    )
+
+
+def _anneal_restart(
+    widths: Sequence[float],
+    heights: Sequence[float],
+    nets: Dict[Tuple[int, int], float],
+    anchors: Dict[Tuple[int, Tuple[float, float]], float],
+    *,
+    wirelength_weight: float,
+    seed: int,
+    moves: int,
+    initial_temperature: float,
+    cooling: float,
+    initial_sp: SequencePair,
+    restart: int,
+) -> FloorplanResult:
+    """One annealing run on the incremental evaluator.
+
+    The move/acceptance structure — RNG draw order, cost expression,
+    acceptance test — mirrors :func:`repro.floorplan.reference
+    .naive_anneal_floorplan` exactly; only the evaluation is incremental.
+    """
+    n = len(widths)
+    rng = restart_rng(seed, "floorplan-anneal", restart)
+    state = _AnnealState(initial_sp, widths, heights, nets, anchors)
+
+    area0, wl0 = state.area, state.wirelength
     area_scale = area0 if area0 > 0 else 1.0
     wl_scale = wl0 if wl0 > 0 else 1.0
 
@@ -99,77 +196,55 @@ def anneal_floorplan(
         return area / area_scale + wirelength_weight * wl / wl_scale
 
     current_cost = cost_of(area0, wl0)
-    best = FloorplanResult(
-        positions=pos0, sequence_pair=sp, area=area0, wirelength=wl0,
-        cost=current_cost, moves_evaluated=0,
-    )
+    best_cost = current_cost
+    best_area, best_wl = area0, wl0
+    best_positions = state.positions()
+    best_sequences = state.sequences()
 
     temperature = initial_temperature
     evaluated = 0
-    for _ in range(moves):
-        if n == 1:
-            break
-        candidate = _perturb(sp, rng)
-        area, wl, pos = evaluate(candidate)
-        cand_cost = cost_of(area, wl)
-        evaluated += 1
-        accept = cand_cost <= current_cost or (
-            temperature > 1e-12
-            and rng.random() < math.exp((current_cost - cand_cost) / temperature)
-        )
-        if accept:
-            sp = candidate
-            current_cost = cand_cost
-            if cand_cost < best.cost:
-                best = FloorplanResult(
-                    positions=pos, sequence_pair=sp, area=area, wirelength=wl,
-                    cost=cand_cost, moves_evaluated=evaluated,
-                )
-        temperature *= cooling
+    if n > 1:
+        randrange = rng.randrange
+        random = rng.random
+        exp = math.exp
+        for _ in range(moves):
+            i, j = randrange(n), randrange(n)
+            while j == i:
+                j = randrange(n)
+            move = randrange(3)
+            state.begin_move()
+            if move == 0:
+                state.swap_positive(i, j)
+            elif move == 1:
+                state.swap_negative(i, j)
+            else:
+                state.swap_both(i, j)
+            area, wl = state.evaluate()
+            cand_cost = cost_of(area, wl)
+            evaluated += 1
+            if cand_cost <= current_cost or (
+                temperature > 1e-12
+                and random() < exp((current_cost - cand_cost) / temperature)
+            ):
+                state.commit()
+                current_cost = cand_cost
+                if cand_cost < best_cost:
+                    best_cost = cand_cost
+                    best_area, best_wl = area, wl
+                    best_positions = state.positions()
+                    best_sequences = state.sequences()
+            else:
+                state.revert()
+            temperature *= cooling
 
-    best.moves_evaluated = evaluated
-    return best
-
-
-def _perturb(sp: SequencePair, rng) -> SequencePair:
-    n = sp.n
-    i, j = rng.randrange(n), rng.randrange(n)
-    while j == i:
-        j = rng.randrange(n)
-    move = rng.randrange(3)
-    if move == 0:
-        return sp.with_swap_positive(i, j)
-    if move == 1:
-        return sp.with_swap_negative(i, j)
-    return sp.with_swap_both(i, j)
-
-
-def _packed_area(
-    positions: Sequence[Tuple[float, float]],
-    widths: Sequence[float],
-    heights: Sequence[float],
-) -> float:
-    w = max(x + widths[i] for i, (x, _) in enumerate(positions))
-    h = max(y + heights[i] for i, (_, y) in enumerate(positions))
-    return w * h
-
-
-def _wirelength(
-    positions: Sequence[Tuple[float, float]],
-    widths: Sequence[float],
-    heights: Sequence[float],
-    nets: Dict[Tuple[int, int], float],
-    anchors: Dict[Tuple[int, Tuple[float, float]], float],
-) -> float:
-    def center(i: int) -> Tuple[float, float]:
-        x, y = positions[i]
-        return (x + widths[i] / 2.0, y + heights[i] / 2.0)
-
-    total = 0.0
-    for (a, b), weight in nets.items():
-        ca, cb = center(a), center(b)
-        total += weight * (abs(ca[0] - cb[0]) + abs(ca[1] - cb[1]))
-    for (a, point), weight in anchors.items():
-        ca = center(a)
-        total += weight * (abs(ca[0] - point[0]) + abs(ca[1] - point[1]))
-    return total
+    return FloorplanResult(
+        positions=best_positions,
+        sequence_pair=SequencePair(
+            positive=best_sequences[0], negative=best_sequences[1]
+        ),
+        area=best_area,
+        wirelength=best_wl,
+        cost=best_cost,
+        moves_evaluated=evaluated,
+        restart_index=restart,
+    )

@@ -11,14 +11,26 @@ displacement of the network components from their LP-ideal positions.
 Because the sequence-pair packing re-compacts all blocks, core *absolute*
 positions shift even though their relative order is preserved — exactly the
 behaviour the paper describes as unpredictable and often poor.
+
+The annealing loop runs on the incremental
+:class:`~repro.floorplan.engine._AnnealState` evaluator: the displacement
+penalty is expressed as unit-weight anchor nets (one per network component
+towards its LP-ideal centre, one per core towards its input position), so a
+relocation move only recomputes the terms of blocks whose packed position
+actually changed. The loop is bit-identical to the frozen
+:func:`repro.floorplan.reference.naive_constrained_insert` baseline.
+``restarts``/``jobs`` mirror :func:`repro.floorplan.annealer
+.anneal_floorplan`'s multi-start knobs.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FloorplanError
+from repro.floorplan.engine import _AnnealState
+from repro.floorplan.geometry import Rect
 from repro.floorplan.inserter import NewComponent
 from repro.floorplan.placement import PlacedComponent
 from repro.floorplan.sequence_pair import (
@@ -26,7 +38,7 @@ from repro.floorplan.sequence_pair import (
     positions_to_seqpair,
     seqpair_to_positions,
 )
-from repro.rng import make_rng
+from repro.rng import restart_rng
 
 
 def constrained_insert(
@@ -38,10 +50,15 @@ def constrained_insert(
     displacement_weight: float = 1.0,
     initial_temperature: float = 1.0,
     cooling: float = 0.995,
+    restarts: int = 1,
+    jobs: Optional[int] = 1,
 ) -> List[PlacedComponent]:
     """Insert network components with the constrained-annealer baseline.
 
-    Args/returns mirror :func:`repro.floorplan.inserter.insert_components`.
+    Args/returns mirror :func:`repro.floorplan.inserter.insert_components`;
+    ``restarts``/``jobs`` run K independently seeded anneals (best cost
+    wins, ties to the lowest restart) optionally fanned across the
+    :mod:`repro.engine` pool — serial and parallel runs are identical.
     """
     layers = {c.layer for c in existing}
     if len(layers) > 1:
@@ -54,76 +71,45 @@ def constrained_insert(
     n_new = len(new_components)
     if n_new == 0:
         return list(existing)
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+
+    if restarts == 1:
+        _, best_sp = _insertion_restart(
+            existing, new_components, seed=seed, moves=moves,
+            displacement_weight=displacement_weight,
+            initial_temperature=initial_temperature, cooling=cooling,
+            restart=0,
+        )
+    else:
+        # Lazy import: repro.engine depends on repro.floorplan, not vice versa.
+        from repro.engine.executor import run_tasks
+        from repro.engine.tasks import ConstrainedInsertTask
+
+        tasks = [
+            ConstrainedInsertTask(
+                key=restart,
+                existing=tuple(existing),
+                new_components=tuple(new_components),
+                seed=seed,
+                moves=moves,
+                displacement_weight=displacement_weight,
+                initial_temperature=initial_temperature,
+                cooling=cooling,
+                restart=restart,
+            )
+            for restart in range(restarts)
+        ]
+        results = run_tasks(tasks, jobs=jobs)
+        best_cost = None
+        best_sp = None
+        for task_result in results:
+            cost, sp = task_result.result
+            if best_cost is None or cost < best_cost:
+                best_cost, best_sp = cost, sp
 
     widths = [c.rect.width for c in existing] + [c.width for c in new_components]
     heights = [c.rect.height for c in existing] + [c.height for c in new_components]
-    positions = [(c.rect.x, c.rect.y) for c in existing] + [
-        (
-            max(0.0, c.ideal_center[0] - c.width / 2.0),
-            max(0.0, c.ideal_center[1] - c.height / 2.0),
-        )
-        for c in new_components
-    ]
-    ideals = [c.ideal_center for c in new_components]
-
-    sp = positions_to_seqpair(positions, widths, heights)
-    new_ids = set(range(n_cores, n_cores + n_new))
-
-    core_anchors = [
-        (c.rect.x + c.rect.width / 2.0, c.rect.y + c.rect.height / 2.0)
-        for c in existing
-    ]
-
-    def evaluate(sp_: SequencePair) -> Tuple[float, float]:
-        pos = seqpair_to_positions(sp_, widths, heights)
-        area = max(p[0] + widths[i] for i, p in enumerate(pos)) * max(
-            p[1] + heights[i] for i, p in enumerate(pos)
-        )
-        disp = 0.0
-        for j, bid in enumerate(range(n_cores, n_cores + n_new)):
-            cx = pos[bid][0] + widths[bid] / 2.0
-            cy = pos[bid][1] + heights[bid] / 2.0
-            disp += abs(cx - ideals[j][0]) + abs(cy - ideals[j][1])
-        # "keep the cores close to their initial placement" (Sec. VIII-D):
-        # the constrained standard floorplanner must also pay for moving
-        # the cores away from the input floorplan.
-        for i in range(n_cores):
-            cx = pos[i][0] + widths[i] / 2.0
-            cy = pos[i][1] + heights[i] / 2.0
-            disp += abs(cx - core_anchors[i][0]) + abs(cy - core_anchors[i][1])
-        return area, disp
-
-    area0, disp0 = evaluate(sp)
-    area_scale = area0 if area0 > 0 else 1.0
-    # Normalise displacement by one die diagonal per block, so the penalty
-    # stays comparable to the area term regardless of the initial packing.
-    diag = max(c.rect.x2 for c in existing) + max(c.rect.y2 for c in existing) \
-        if existing else 1.0
-    disp_scale = max(diag * max(1, n_cores + n_new) * 0.25, 1e-9)
-
-    def cost(area: float, disp: float) -> float:
-        return area / area_scale + displacement_weight * disp / disp_scale
-
-    rng = make_rng(seed, "constrained-insert")
-    current = cost(area0, disp0)
-    best_sp, best_cost = sp, current
-    temperature = initial_temperature
-
-    for _ in range(moves):
-        candidate = _relocate_new_block(sp, new_ids, rng)
-        if candidate is None:
-            break
-        area, disp = evaluate(candidate)
-        cand = cost(area, disp)
-        if cand <= current or (
-            temperature > 1e-12
-            and rng.random() < math.exp((current - cand) / temperature)
-        ):
-            sp, current = candidate, cand
-            if cand < best_cost:
-                best_sp, best_cost = candidate, cand
-        temperature *= cooling
-
     final_positions = seqpair_to_positions(best_sp, widths, heights)
     out: List[PlacedComponent] = []
     for i, comp in enumerate(existing):
@@ -136,8 +122,6 @@ def constrained_insert(
         )
     for j, comp in enumerate(new_components):
         x, y = final_positions[n_cores + j]
-        from repro.floorplan.geometry import Rect
-
         out.append(
             PlacedComponent(
                 name=comp.name, kind=comp.kind,
@@ -147,25 +131,105 @@ def constrained_insert(
     return out
 
 
-def _relocate_new_block(
-    sp: SequencePair, new_ids: set, rng
-) -> Optional[SequencePair]:
-    """Move one network-component entry to a new slot in one/both sequences.
+def run_insertion_restart(task) -> Tuple[float, SequencePair]:
+    """Worker entry point for one
+    :class:`~repro.engine.tasks.ConstrainedInsertTask`."""
+    return _insertion_restart(
+        task.existing, task.new_components, seed=task.seed, moves=task.moves,
+        displacement_weight=task.displacement_weight,
+        initial_temperature=task.initial_temperature, cooling=task.cooling,
+        restart=task.restart,
+    )
 
-    Core relative order is untouched because only new-component entries are
-    extracted and reinserted.
+
+def _insertion_restart(
+    existing: Sequence[PlacedComponent],
+    new_components: Sequence[NewComponent],
+    *,
+    seed: int,
+    moves: int,
+    displacement_weight: float,
+    initial_temperature: float,
+    cooling: float,
+    restart: int,
+) -> Tuple[float, SequencePair]:
+    """One constrained annealing run; returns (best cost, best sequence pair).
+
+    RNG draw order, cost expression and acceptance test mirror the frozen
+    :func:`repro.floorplan.reference.naive_constrained_insert` exactly.
     """
-    if not new_ids:
-        return None
-    block = rng.choice(sorted(new_ids))
-    which = rng.randrange(3)  # 0: positive, 1: negative, 2: both
+    n_cores = len(existing)
+    n_new = len(new_components)
+    n = n_cores + n_new
 
-    positive = list(sp.positive)
-    negative = list(sp.negative)
-    if which in (0, 2):
-        positive.remove(block)
-        positive.insert(rng.randrange(len(positive) + 1), block)
-    if which in (1, 2):
-        negative.remove(block)
-        negative.insert(rng.randrange(len(negative) + 1), block)
-    return SequencePair(positive=tuple(positive), negative=tuple(negative))
+    widths = [c.rect.width for c in existing] + [c.width for c in new_components]
+    heights = [c.rect.height for c in existing] + [c.height for c in new_components]
+    positions = [(c.rect.x, c.rect.y) for c in existing] + [
+        (
+            max(0.0, c.ideal_center[0] - c.width / 2.0),
+            max(0.0, c.ideal_center[1] - c.height / 2.0),
+        )
+        for c in new_components
+    ]
+    ideals = [c.ideal_center for c in new_components]
+
+    sp0 = positions_to_seqpair(positions, widths, heights)
+
+    # Displacement as unit-weight anchor nets, in the naive evaluator's sum
+    # order: network components towards their ideals first, then "keep the
+    # cores close to their initial placement" (Sec. VIII-D).
+    anchors: Dict[Tuple[int, Tuple[float, float]], float] = {}
+    for j, bid in enumerate(range(n_cores, n_cores + n_new)):
+        anchors[(bid, (ideals[j][0], ideals[j][1]))] = 1.0
+    for i, c in enumerate(existing):
+        anchors[(i, (c.rect.x + c.rect.width / 2.0,
+                     c.rect.y + c.rect.height / 2.0))] = 1.0
+
+    state = _AnnealState(sp0, widths, heights, None, anchors)
+    area0, disp0 = state.area, state.wirelength
+    area_scale = area0 if area0 > 0 else 1.0
+    # Normalise displacement by one die diagonal per block, so the penalty
+    # stays comparable to the area term regardless of the initial packing.
+    diag = max(c.rect.x2 for c in existing) + max(c.rect.y2 for c in existing) \
+        if existing else 1.0
+    disp_scale = max(diag * max(1, n_cores + n_new) * 0.25, 1e-9)
+
+    def cost(area: float, disp: float) -> float:
+        return area / area_scale + displacement_weight * disp / disp_scale
+
+    rng = restart_rng(seed, "constrained-insert", restart)
+    current = cost(area0, disp0)
+    best_cost = current
+    best_sequences = state.sequences()
+    temperature = initial_temperature
+
+    new_ids_sorted = sorted(range(n_cores, n_cores + n_new))
+    randrange = rng.randrange
+    random = rng.random
+    exp = math.exp
+    for _ in range(moves):
+        block = rng.choice(new_ids_sorted)
+        which = randrange(3)  # 0: positive, 1: negative, 2: both
+        state.begin_move()
+        if which == 0 or which == 2:
+            state.relocate_positive(block, randrange(n))
+        if which == 1 or which == 2:
+            state.relocate_negative(block, randrange(n))
+        area, disp = state.evaluate()
+        cand = cost(area, disp)
+        if cand <= current or (
+            temperature > 1e-12
+            and random() < exp((current - cand) / temperature)
+        ):
+            state.commit()
+            current = cand
+            if cand < best_cost:
+                best_cost = cand
+                best_sequences = state.sequences()
+        else:
+            state.revert()
+        temperature *= cooling
+
+    return best_cost, SequencePair(
+        positive=best_sequences[0], negative=best_sequences[1]
+    )

@@ -1,0 +1,339 @@
+"""Incremental sequence-pair annealing evaluation engine.
+
+The pre-optimisation annealers rebuilt a validated :class:`SequencePair`,
+re-imported numpy, reallocated arrays, reran the full longest-path packing
+and re-summed every net on *every* move — several hundred microseconds per
+move dominated by small-array numpy overhead and permutation re-validation.
+:class:`_AnnealState` replaces all of that with a mutable, array-based state
+that persists across moves:
+
+* **in-place moves with undo** — the two permutations live in plain lists
+  with rank (inverse-permutation) arrays kept alongside; swaps are O(1),
+  relocations O(shift range), and every mutation appends its inverse to a
+  journal so a rejected move is undone without any recomputation;
+* **allocation-free packing** — the classic longest-path evaluation runs in
+  preallocated buffers with cached ``x + width`` / ``y + height`` partial
+  sums, no numpy round-trips and no per-move allocation;
+* **delta wirelength** — every net is a *term*; per-block adjacency lists
+  map a moved block to the terms it touches, so a move only recomputes the
+  incident terms and the total is re-accumulated from cached values in a
+  fixed order.
+
+Bit-exactness
+-------------
+
+The regression suite asserts the incremental engine reproduces the frozen
+naive baselines of :mod:`repro.floorplan.reference` *bit for bit* — same
+accepted-move trajectory, same final floorplan. That guarantee rests on
+three observations:
+
+1. IEEE-754 double addition is the same operation in numpy and in pure
+   Python, so ``x + w`` produces identical bits either way, and ``max`` over
+   the same set of doubles is order-independent;
+2. the packing therefore yields identical coordinates, and a cached term
+   value equals a fresh recomputation whenever its endpoint coordinates are
+   unchanged — which is exactly the condition under which we skip it;
+3. the wirelength total is accumulated left-to-right over the terms in net
+   declaration order — the same order (nets, then anchors) and the same
+   float-addition sequence as the naive evaluator's loop.
+
+The state never normalises, reassociates or fuses any floating-point
+expression the naive evaluators compute; it only skips recomputing values
+that are provably identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.floorplan.sequence_pair import SequencePair
+
+#: Undo-journal entry codes (index 0 of each entry).
+_SWAP = 0
+_RELOC = 1
+
+
+class _AnnealState:
+    """Mutable incremental evaluator for sequence-pair annealing.
+
+    Move protocol (one move at a time)::
+
+        state.begin_move()
+        state.swap_both(i, j)            # or any other move op(s)
+        area, wl = state.evaluate()
+        if accepted:
+            state.commit()
+        else:
+            state.revert()               # restores sequences *and* terms
+
+    ``area`` / ``wirelength`` attributes hold the *initial* evaluation (for
+    cost normalisation); after that the caller tracks costs itself.
+    """
+
+    __slots__ = (
+        "n", "widths", "heights", "positive", "negative", "prank", "nrank",
+        "cur_x", "cur_y", "cand_x", "cand_y", "area", "wirelength",
+        "_xw", "_yh", "_hw", "_hh",
+        "_ta", "_tb", "_tw", "_tpx", "_tpy", "_adj", "terms",
+        "_stamp", "_epoch", "_journal", "_term_undo",
+    )
+
+    def __init__(
+        self,
+        sp: SequencePair,
+        widths: Sequence[float],
+        heights: Sequence[float],
+        nets: Optional[Mapping[Tuple[int, int], float]] = None,
+        anchors: Optional[Mapping[Tuple[int, Tuple[float, float]], float]] = None,
+    ) -> None:
+        n = sp.n
+        if len(widths) != n or len(heights) != n:
+            raise ValueError(
+                f"need {n} widths/heights, got {len(widths)}/{len(heights)}"
+            )
+        self.n = n
+        self.widths = [float(w) for w in widths]
+        self.heights = [float(h) for h in heights]
+        self._hw = [w / 2.0 for w in self.widths]
+        self._hh = [h / 2.0 for h in self.heights]
+
+        self.positive: List[int] = list(sp.positive)
+        self.negative: List[int] = list(sp.negative)
+        self.prank = [0] * n
+        self.nrank = [0] * n
+        for r, b in enumerate(self.positive):
+            self.prank[b] = r
+        for r, b in enumerate(self.negative):
+            self.nrank[b] = r
+
+        self.cur_x = [0.0] * n
+        self.cur_y = [0.0] * n
+        self.cand_x = [0.0] * n
+        self.cand_y = [0.0] * n
+        self._xw = [0.0] * n
+        self._yh = [0.0] * n
+
+        # Terms: nets first, then anchors — the naive evaluator's sum order.
+        self._ta: List[int] = []
+        self._tb: List[int] = []
+        self._tw: List[float] = []
+        self._tpx: List[float] = []
+        self._tpy: List[float] = []
+        self._adj: List[List[int]] = [[] for _ in range(n)]
+        for (a, b), weight in (nets or {}).items():
+            ti = len(self._ta)
+            self._ta.append(a)
+            self._tb.append(b)
+            self._tw.append(weight)
+            self._tpx.append(0.0)
+            self._tpy.append(0.0)
+            self._adj[a].append(ti)
+            self._adj[b].append(ti)
+        for (a, point), weight in (anchors or {}).items():
+            ti = len(self._ta)
+            self._ta.append(a)
+            self._tb.append(-1)
+            self._tw.append(weight)
+            self._tpx.append(point[0])
+            self._tpy.append(point[1])
+            self._adj[a].append(ti)
+
+        self.terms = [0.0] * len(self._ta)
+        self._stamp = [0] * len(self._ta)
+        self._epoch = 0
+        self._journal: List[tuple] = []
+        self._term_undo: List[Tuple[int, float]] = []
+
+        # Initial full evaluation into the current buffers.
+        self.area = self._pack()
+        self.cur_x, self.cand_x = self.cand_x, self.cur_x
+        self.cur_y, self.cand_y = self.cand_y, self.cur_y
+        terms = self.terms
+        for ti in range(len(terms)):
+            terms[ti] = self._term_value(ti, self.cur_x, self.cur_y)
+        wl = 0.0
+        for value in terms:
+            wl += value
+        self.wirelength = wl
+
+    # -- move application ---------------------------------------------------
+
+    def begin_move(self) -> None:
+        """Start a fresh move (clears the undo journals)."""
+        self._journal.clear()
+        self._term_undo.clear()
+
+    def swap_positive(self, i: int, j: int) -> None:
+        """Swap the entries at positions ``i`` and ``j`` of Gamma+."""
+        self._swap(self.positive, self.prank, i, j)
+
+    def swap_negative(self, i: int, j: int) -> None:
+        """Swap the entries at positions ``i`` and ``j`` of Gamma-."""
+        self._swap(self.negative, self.nrank, i, j)
+
+    def swap_both(self, i: int, j: int) -> None:
+        """Swap the blocks at Gamma+ positions ``i``/``j`` in both sequences
+        (the exact semantics of :meth:`SequencePair.with_swap_both`)."""
+        pos = self.positive
+        u, v = pos[i], pos[j]
+        self._swap(pos, self.prank, i, j)
+        nrank = self.nrank
+        self._swap(self.negative, nrank, nrank[v], nrank[u])
+
+    def relocate_positive(self, block: int, slot: int) -> None:
+        """Remove ``block`` from Gamma+ and re-insert it at ``slot``."""
+        self._relocate(self.positive, self.prank, block, slot)
+
+    def relocate_negative(self, block: int, slot: int) -> None:
+        """Remove ``block`` from Gamma- and re-insert it at ``slot``."""
+        self._relocate(self.negative, self.nrank, block, slot)
+
+    def _swap(self, seq: List[int], rank: List[int], i: int, j: int) -> None:
+        a, b = seq[i], seq[j]
+        seq[i] = b
+        seq[j] = a
+        rank[a] = j
+        rank[b] = i
+        self._journal.append((_SWAP, seq, rank, i, j))
+
+    def _relocate(
+        self, seq: List[int], rank: List[int], block: int, slot: int
+    ) -> None:
+        r = rank[block]
+        if slot != r:
+            del seq[r]
+            seq.insert(slot, block)
+            lo, hi = (slot, r) if slot < r else (r, slot)
+            for k in range(lo, hi + 1):
+                rank[seq[k]] = k
+        self._journal.append((_RELOC, seq, rank, block, r, slot))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _pack(self) -> float:
+        """Longest-path packing into the candidate buffers; returns area.
+
+        Identical values to ``seqpair_to_positions`` + ``_packed_area``: the
+        maxima range over the same ``x + width`` / ``y + height`` doubles.
+        """
+        n = self.n
+        neg = self.negative
+        prank = self.prank
+        xs = self.cand_x
+        ys = self.cand_y
+        xw = self._xw
+        yh = self._yh
+        widths = self.widths
+        heights = self.heights
+        max_w = 0.0
+        max_h = 0.0
+        for k in range(n):
+            b = neg[k]
+            rb = prank[b]
+            bx = 0.0
+            by = 0.0
+            for t in range(k):
+                a = neg[t]
+                if prank[a] < rb:
+                    v = xw[a]
+                    if v > bx:
+                        bx = v
+                else:
+                    v = yh[a]
+                    if v > by:
+                        by = v
+            xs[b] = bx
+            ys[b] = by
+            v = bx + widths[b]
+            xw[b] = v
+            if v > max_w:
+                max_w = v
+            v = by + heights[b]
+            yh[b] = v
+            if v > max_h:
+                max_h = v
+        return max_w * max_h
+
+    def _term_value(self, ti: int, xs: List[float], ys: List[float]) -> float:
+        a = self._ta[ti]
+        cax = xs[a] + self._hw[a]
+        cay = ys[a] + self._hh[a]
+        b = self._tb[ti]
+        if b >= 0:
+            cbx = xs[b] + self._hw[b]
+            cby = ys[b] + self._hh[b]
+            return self._tw[ti] * (abs(cax - cbx) + abs(cay - cby))
+        return self._tw[ti] * (abs(cax - self._tpx[ti]) + abs(cay - self._tpy[ti]))
+
+    def evaluate(self) -> Tuple[float, float]:
+        """Pack the current sequences and return ``(area, wirelength)``.
+
+        Only terms incident to blocks whose packed position changed are
+        recomputed; old values are journalled for :meth:`revert`.
+        """
+        area = self._pack()
+        n = self.n
+        cur_x = self.cur_x
+        cur_y = self.cur_y
+        cand_x = self.cand_x
+        cand_y = self.cand_y
+        adj = self._adj
+        terms = self.terms
+        stamp = self._stamp
+        self._epoch += 1
+        epoch = self._epoch
+        undo = self._term_undo
+        for b in range(n):
+            if cand_x[b] != cur_x[b] or cand_y[b] != cur_y[b]:
+                for ti in adj[b]:
+                    if stamp[ti] != epoch:
+                        stamp[ti] = epoch
+                        undo.append((ti, terms[ti]))
+                        terms[ti] = self._term_value(ti, cand_x, cand_y)
+        wl = 0.0
+        for value in terms:
+            wl += value
+        return area, wl
+
+    # -- accept / reject ----------------------------------------------------
+
+    def commit(self) -> None:
+        """Accept the evaluated move: candidate buffers become current."""
+        self.cur_x, self.cand_x = self.cand_x, self.cur_x
+        self.cur_y, self.cand_y = self.cand_y, self.cur_y
+        self._journal.clear()
+        self._term_undo.clear()
+
+    def revert(self) -> None:
+        """Reject the move: undo sequence mutations and term updates."""
+        for entry in reversed(self._journal):
+            if entry[0] == _SWAP:
+                _, seq, rank, i, j = entry
+                a, b = seq[i], seq[j]
+                seq[i] = b
+                seq[j] = a
+                rank[a] = j
+                rank[b] = i
+            else:
+                _, seq, rank, block, r, slot = entry
+                if slot != r:
+                    del seq[slot]
+                    seq.insert(r, block)
+                    lo, hi = (slot, r) if slot < r else (r, slot)
+                    for k in range(lo, hi + 1):
+                        rank[seq[k]] = k
+        self._journal.clear()
+        terms = self.terms
+        for ti, old in reversed(self._term_undo):
+            terms[ti] = old
+        self._term_undo.clear()
+
+    # -- snapshots ----------------------------------------------------------
+
+    def positions(self) -> List[Tuple[float, float]]:
+        """Current accepted lower-left block positions (fresh list)."""
+        return list(zip(self.cur_x, self.cur_y))
+
+    def sequences(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Cheap immutable snapshot of (Gamma+, Gamma-)."""
+        return tuple(self.positive), tuple(self.negative)

@@ -12,8 +12,11 @@ inserter both operate on it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -49,8 +52,6 @@ class SequencePair:
         starting point — the identity pair degenerates into a single row,
         which simulated annealing cannot repair for large n.
         """
-        import math
-
         side = max(1, int(math.ceil(math.sqrt(n))))
         cells = [(i // side, i % side) for i in range(n)]  # (row, col)
         # b left-of c  <=> same row, smaller col  (earlier in both sequences)
@@ -75,10 +76,13 @@ class SequencePair:
 
     def with_swap_both(self, i: int, j: int) -> "SequencePair":
         """Swap the blocks at positions i and j in both sequences."""
-        return self.with_swap_positive(i, j).with_swap_negative(
-            self.negative.index(self.positive[j]),
-            self.negative.index(self.positive[i]),
-        )
+        pos = list(self.positive)
+        pos[i], pos[j] = pos[j], pos[i]
+        neg = list(self.negative)
+        ni = neg.index(self.positive[j])
+        nj = neg.index(self.positive[i])
+        neg[ni], neg[nj] = neg[nj], neg[ni]
+        return SequencePair(positive=tuple(pos), negative=tuple(neg))
 
 
 def seqpair_to_positions(
@@ -91,10 +95,10 @@ def seqpair_to_positions(
     Returns one (x, y) per block index. The packing is the classic
     longest-path evaluation: x of a block is the max right edge of all blocks
     that must lie to its left; y symmetric. The inner maxima are vectorised
-    with numpy — this function is the annealer's hot loop.
+    with numpy. (The annealers no longer call this per move — they run on
+    the incremental :mod:`repro.floorplan.engine` evaluator, which produces
+    bit-identical coordinates.)
     """
-    import numpy as np
-
     n = sp.n
     if len(widths) != n or len(heights) != n:
         raise ValueError(
