@@ -1,0 +1,73 @@
+"""Wormhole simulator — array-based engine + parallel campaign gate.
+
+Not a paper figure: this is the repo's own perf-trajectory gate for the
+:mod:`repro.noc.simengine` overhaul. It runs
+:func:`repro.engine.benchmark.run_simulator_benchmark` (the same routine
+whose numbers ``python -m repro.cli bench`` embeds in the ``simulator``
+section of ``BENCH_engine.json``), echoes the numbers, and asserts
+
+* the array-based engine and the frozen naive baseline of
+  :mod:`repro.noc.reference` produce *bit-identical* simulation statistics
+  (packets, latencies, per-flow breakdowns, drain length) at every
+  measured load;
+* the engine beats the naive baseline by >= 3x single-threaded cycles/sec
+  at the validation load (a same-core claim, asserted everywhere; the
+  saturation-load speedup is recorded without a floor — under full load
+  the event-driven advantage shrinks by design);
+* the (seed × injection scale) traffic campaign merges identically serial
+  vs parallel, and — only when the machine actually has >= 4 CPUs — the
+  parallel leg beats the serial one by >= 2x wall-clock. On smaller boxes
+  (CI containers pinned to one core) the speedup is recorded but not
+  asserted, since a CPU-bound speedup beyond the core count is physically
+  impossible.
+"""
+
+import pytest
+
+from repro.engine.benchmark import run_simulator_benchmark
+
+CAMPAIGN_JOBS = 4
+SINGLE_THREAD_SPEEDUP_FLOOR = 3.0
+CAMPAIGN_SPEEDUP_FLOOR = 2.0
+
+
+def _run():
+    return run_simulator_benchmark(quick=True, jobs=CAMPAIGN_JOBS, log=print)
+
+
+def test_simulator_engine_speedup(benchmark):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(f"cpu_count={report['cpu_count']} "
+          f"single-thread={report['speedup']}x "
+          f"({report['engine_cycles_per_s']:,.0f} cycles/s) "
+          f"saturation={report['saturation']['speedup']}x "
+          f"campaign={report['campaign']['speedup']}x")
+
+    # Bit-identity is the contract that makes the speedup meaningful.
+    assert report["identical_results"]
+    assert report["saturation"]["identical_results"]
+    assert report["campaign"]["identical_results"]
+
+    # Single-threaded cycles/sec at validation load: same core, so the
+    # floor holds everywhere.
+    assert report["speedup"] >= SINGLE_THREAD_SPEEDUP_FLOOR, (
+        f"simulator engine speedup {report['speedup']}x below "
+        f"{SINGLE_THREAD_SPEEDUP_FLOOR}x"
+    )
+
+    # Campaign scaling: only meaningful with cores to run on.
+    cpus = report["cpu_count"] or 1
+    campaign = report["campaign"]
+    if cpus >= CAMPAIGN_JOBS:
+        assert campaign["speedup"] >= CAMPAIGN_SPEEDUP_FLOOR, (
+            f"campaign speedup {campaign['speedup']}x on {campaign['jobs']} "
+            f"worker(s) ({cpus} CPUs) below {CAMPAIGN_SPEEDUP_FLOOR}x"
+        )
+    else:
+        pytest.skip(
+            f"only {cpus} CPU(s) visible: recorded campaign speedup "
+            f"{campaign['speedup']}x without asserting the "
+            f"{CAMPAIGN_SPEEDUP_FLOOR}x floor (needs >= {CAMPAIGN_JOBS} "
+            "CPUs)"
+        )

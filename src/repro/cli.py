@@ -12,6 +12,9 @@ Sub-commands:
   anneals (fanned across the engine pool) per insertion.
 * ``sweep``      — explore an architectural design space (frequency × α ×
   link width) on the parallel engine (``--jobs``).
+* ``sim``        — wormhole-simulate a synthesized benchmark under a
+  (scenario × injection scale × seed) traffic campaign fanned across the
+  engine pool (``--jobs``); see ``docs/simulator.md``.
 * ``bench``      — run the engine scaling benchmark and write
   ``BENCH_engine.json`` (perf trajectory tracking).
 * ``experiment`` — regenerate one of the paper's tables/figures by id
@@ -107,6 +110,37 @@ def build_parser() -> argparse.ArgumentParser:
                        default="power")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
+
+    sim = sub.add_parser(
+        "sim",
+        help="wormhole-simulate a synthesized benchmark under traffic "
+             "scenarios",
+    )
+    sim.add_argument("--benchmark", required=True,
+                     help="built-in benchmark name")
+    sim.add_argument("--scenarios", type=str, default="bernoulli",
+                     help="comma-separated scenario specs: bernoulli, "
+                          "hotspot[:core], bursty[:mean_burst_cycles], "
+                          "scaled[:factor]")
+    sim.add_argument("--scales", type=str, default="0.1,0.3,0.6,1.0",
+                     help="comma-separated injection scales")
+    sim.add_argument("--seeds", type=str, default="0",
+                     help="comma-separated simulator seeds")
+    sim.add_argument("--cycles", type=int, default=20_000,
+                     help="injection horizon in cycles")
+    sim.add_argument("--warmup", type=int, default=2_000,
+                     help="cycles excluded from the statistics")
+    sim.add_argument("--packet-flits", type=int, default=4,
+                     help="packet length in flits")
+    sim.add_argument("--max-ill", type=int, default=25)
+    sim.add_argument("--switches", type=str, default=None,
+                     help="switch count range, e.g. 3:14")
+    sim.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the campaign (0 = one per "
+                          "CPU, 1 = serial; results are identical either "
+                          "way)")
+    sim.add_argument("--quiet", action="store_true",
+                     help="suppress per-run progress lines")
 
     bench = sub.add_parser(
         "bench", help="run the engine scaling benchmark (BENCH_engine.json)"
@@ -279,6 +313,39 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_sim(args) -> int:
+    from repro.experiments.common import default_config_for
+    from repro.experiments.simulation_validation import run_simulation_validation
+
+    config = default_config_for(
+        args.benchmark,
+        max_ill=args.max_ill,
+        switch_count_range=_parse_switch_range(args.switches),
+    )
+    scenarios = tuple(
+        s.strip() for s in args.scenarios.split(",") if s.strip()
+    )
+    progress = None
+    if not args.quiet:
+        def progress(done, total, key):
+            print(f"  [{done}/{total}] {key}")
+    table = run_simulation_validation(
+        benchmark=args.benchmark,
+        injection_scales=_parse_values(args.scales, float, "scale"),
+        cycles=args.cycles,
+        warmup=args.warmup,
+        config=config,
+        packet_length_flits=args.packet_flits,
+        scenarios=scenarios,
+        seeds=_parse_values(args.seeds, int, "seed"),
+        jobs=args.jobs,
+        progress=progress,
+    )
+    print()
+    table.print_table()
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.engine.benchmark import run_engine_benchmark
 
@@ -289,12 +356,15 @@ def _cmd_bench(args) -> int:
     sweep = report["sweep"]
     paths = report["compute_paths"]
     floorplan = report["floorplan"]
+    simulator = report["simulator"]
     print(
         f"\nsummary: sweep speedup {sweep['speedup']}x on {sweep['jobs']} "
         f"worker(s) ({report['cpu_count']} CPU(s) visible), "
         f"compute_paths speedup {paths['speedup']}x, "
         f"floorplan anneal speedup {floorplan['speedup']}x "
-        f"({floorplan['incremental_moves_per_s']:,.0f} moves/s)"
+        f"({floorplan['incremental_moves_per_s']:,.0f} moves/s), "
+        f"simulator speedup {simulator['speedup']}x "
+        f"({simulator['engine_cycles_per_s']:,.0f} cycles/s)"
     )
     return 0
 
@@ -350,6 +420,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_synth(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "sim":
+            return _cmd_sim(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "experiment":

@@ -42,6 +42,7 @@ from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
 from repro.engine.profile import ProfileRecorder, Timer
 from repro.engine.tasks import (
     CandidateTask,
+    SimulationTask,
     SynthesisTask,
     TaskResult,
     run_task,
@@ -53,6 +54,7 @@ __all__ = [
     "ParameterGrid",
     "ProfileRecorder",
     "ProgressFn",
+    "SimulationTask",
     "SynthesisTask",
     "TaskResult",
     "Timer",

@@ -14,11 +14,18 @@ Measures the claims this subsystem makes and writes them to
   :mod:`repro.floorplan.engine` evaluator versus the frozen naive baseline
   of :mod:`repro.floorplan.reference` on the same design's 2-D
   floorplanning problem, single-threaded moves/sec plus the multi-start
-  serial/parallel leg, with bit-identity checks.
+  serial/parallel leg, with bit-identity checks;
+* **wormhole simulator hot path** — the array-based
+  :mod:`repro.noc.simengine` core versus the frozen naive baseline of
+  :mod:`repro.noc.reference` on the same design's synthesized topology,
+  single-threaded cycles/sec at validation load (with a saturation point
+  recorded too) plus the parallel traffic-campaign leg, with bit-identity
+  checks.
 
 Shared by ``python -m repro.cli bench``,
-``benchmarks/bench_engine_scaling.py`` and
-``benchmarks/bench_floorplan_anneal.py``.
+``benchmarks/bench_engine_scaling.py``,
+``benchmarks/bench_floorplan_anneal.py`` and
+``benchmarks/bench_simulator.py``.
 """
 
 from __future__ import annotations
@@ -117,6 +124,7 @@ def run_engine_benchmark(
 
     paths_report = _bench_compute_paths(bench, recorder, say)
     floorplan_report = _bench_floorplan(bench, recorder, say, workers, quick)
+    simulator_report = _bench_simulator(bench, recorder, say, workers, quick)
 
     report = {
         "benchmark": "engine-scaling",
@@ -137,6 +145,7 @@ def run_engine_benchmark(
         },
         "compute_paths": paths_report,
         "floorplan": floorplan_report,
+        "simulator": simulator_report,
     }
     if output:
         recorder.write_json(output, extra=report)
@@ -161,6 +170,27 @@ def run_floorplan_benchmark(
     workers = max(2, resolve_jobs(jobs))
     bench = _design()
     report = _bench_floorplan(bench, recorder, say, workers, quick)
+    report["cpu_count"] = os.cpu_count()
+    return report
+
+
+def run_simulator_benchmark(
+    *,
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run only the wormhole-simulator measurement (no sweep, no routing).
+
+    Used by ``benchmarks/bench_simulator.py`` for a focused gate;
+    ``run_engine_benchmark`` embeds the same section in
+    ``BENCH_engine.json``.
+    """
+    say = log if log is not None else (lambda _msg: None)
+    recorder = ProfileRecorder()
+    workers = max(2, resolve_jobs(jobs))
+    bench = _design()
+    report = _bench_simulator(bench, recorder, say, workers, quick)
     report["cpu_count"] = os.cpu_count()
     return report
 
@@ -313,3 +343,128 @@ def _bench_floorplan(
             "winner_restart": serial.restart_index,
         },
     }
+
+
+#: Load points of the simulator benchmark: the gated validation load and a
+#: recorded (ungated) saturation point.
+_SIM_GATE_SCALE = 0.3
+_SIM_SATURATION_SCALE = 1.0
+_SIM_SEED = 5
+#: The parallel traffic-campaign leg: seeds × injection scales.
+_SIM_CAMPAIGN_SEEDS = (0, 1)
+_SIM_CAMPAIGN_SCALES = (0.3, 0.8)
+
+
+def _bench_simulator(
+    bench, recorder: ProfileRecorder, say: Callable[[str], None],
+    workers: int, quick: bool,
+) -> Dict:
+    """Array-based engine vs naive wormhole simulator + campaign scaling.
+
+    Both simulators run the same synthesized topology with identical seeds
+    and scenarios; the stats must be bit-identical, so the speedup is pure
+    simulation-machinery cost. The single-thread claim is gated at the
+    validation load (``_SIM_GATE_SCALE``); a saturation point is recorded
+    for the trajectory without being gated (under full load the event-driven
+    advantage shrinks by design — the network is genuinely busy).
+    """
+    from repro.core.synthesis import synthesize
+    from repro.engine.tasks import SimulationTask
+    from repro.noc.reference import ReferenceWormholeSimulator
+    from repro.noc.simulator import WormholeSimulator
+
+    config = SynthesisConfig(max_ill=16, switch_count_range=(4, 6))
+    point = synthesize(
+        bench.core_spec_3d, bench.comm_spec, config=config
+    ).best_power()
+    topo = point.topology
+    cycles = 4_000 if quick else 12_000
+    warmup = cycles // 10
+
+    def measure(scale: float, stage: str) -> Dict:
+        # Warm both code paths (imports, schedule building) off the clock.
+        WormholeSimulator(topo, seed=_SIM_SEED).run(
+            cycles=200, warmup=0, injection_scale=scale
+        )
+        ReferenceWormholeSimulator(topo, seed=_SIM_SEED).run(
+            cycles=200, warmup=0, injection_scale=scale
+        )
+        engine_stats = naive_stats = None
+        for _ in range(3):
+            with recorder.time(f"sim_engine_{stage}", cycles=cycles):
+                engine_stats = WormholeSimulator(topo, seed=_SIM_SEED).run(
+                    cycles=cycles, warmup=warmup, injection_scale=scale
+                )
+            with recorder.time(f"sim_naive_{stage}", cycles=cycles):
+                naive_stats = ReferenceWormholeSimulator(
+                    topo, seed=_SIM_SEED
+                ).run(cycles=cycles, warmup=warmup, injection_scale=scale)
+        engine_s = recorder.best_s(f"sim_engine_{stage}")
+        naive_s = recorder.best_s(f"sim_naive_{stage}")
+        total_cycles = cycles + engine_stats.drain_cycles
+        speedup = naive_s / engine_s if engine_s > 0 else float("inf")
+        identical = engine_stats == naive_stats
+        say(
+            f"simulator @ scale {scale}: naive "
+            f"{total_cycles / naive_s:,.0f} cyc/s, engine "
+            f"{total_cycles / engine_s:,.0f} cyc/s -> {speedup:.2f}x "
+            f"(identical stats: {identical})"
+        )
+        return {
+            "injection_scale": scale,
+            "simulated_cycles": total_cycles,
+            "naive_s": round(naive_s, 5),
+            "engine_s": round(engine_s, 5),
+            "naive_cycles_per_s": round(total_cycles / naive_s, 1),
+            "engine_cycles_per_s": round(total_cycles / engine_s, 1),
+            "speedup": round(speedup, 3),
+            "identical_results": identical,
+        }
+
+    gate = measure(_SIM_GATE_SCALE, "gate")
+    saturation = measure(_SIM_SATURATION_SCALE, "saturation")
+
+    # Parallel traffic-campaign leg: (seed × scale) sweep, serial vs pool.
+    tasks = [
+        SimulationTask(
+            key=(seed, scale), topology=topo, seed=seed,
+            cycles=cycles, warmup=warmup, injection_scale=scale,
+        )
+        for seed in _SIM_CAMPAIGN_SEEDS
+        for scale in _SIM_CAMPAIGN_SCALES
+    ]
+    run_tasks(tasks[:1], jobs=1)  # warm the serial path
+    run_tasks(tasks, jobs=workers)  # warm the pool code path
+    serial = parallel = None
+    for _ in range(3):
+        with recorder.time("sim_campaign_serial", tasks=len(tasks)):
+            serial = run_tasks(tasks, jobs=1)
+        with recorder.time("sim_campaign_parallel", jobs=workers):
+            parallel = run_tasks(tasks, jobs=workers)
+    serial_s = recorder.best_s("sim_campaign_serial")
+    parallel_s = recorder.best_s("sim_campaign_parallel")
+    campaign_identical = (
+        [r.result for r in serial] == [r.result for r in parallel]
+    )
+    campaign_speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    say(
+        f"simulator campaign: serial {serial_s:.2f}s, parallel({workers}) "
+        f"{parallel_s:.2f}s -> {campaign_speedup:.2f}x "
+        f"(identical merge: {campaign_identical})"
+    )
+
+    report = dict(gate)
+    report.update({
+        "design_links": len(topo.links),
+        "design_flows": len(topo.routes),
+        "saturation": saturation,
+        "campaign": {
+            "tasks": len(tasks),
+            "jobs": workers,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(campaign_speedup, 3),
+            "identical_results": campaign_identical,
+        },
+    })
+    return report

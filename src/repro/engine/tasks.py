@@ -15,6 +15,12 @@ Two task granularities cross the ``ProcessPoolExecutor`` boundary:
   a multi-start floorplan anneal (``anneal_floorplan(restarts=K, jobs=N)``
   and the constrained inserter's equivalent). Restarts are independently
   seeded, so the parent merges them deterministically by best cost.
+* :class:`SimulationTask` — one wormhole-simulation run of a
+  (seed × injection scale × traffic scenario) load-sweep campaign over an
+  already-synthesized topology
+  (``run_simulation_validation(..., jobs=N)``). Runs are deterministic in
+  their parameters, so the merged campaign is bit-identical serial vs
+  parallel.
 
 Tasks are plain frozen dataclasses built only from spec/config/library
 value objects (and, for candidates, stateless stage instances), so they
@@ -135,6 +141,30 @@ class ConstrainedInsertTask:
     restart: int = 0
 
 
+@dataclass(frozen=True)
+class SimulationTask:
+    """One wormhole-simulation run of a traffic-sweep campaign.
+
+    Carries the routed :class:`~repro.noc.topology.Topology` by value (plain
+    dataclasses — pickles untouched) plus the simulation knobs; the worker
+    rebuilds the simulator and runs the array-based engine. ``scenario`` is
+    a :mod:`repro.noc.scenarios` spec (name, ``"name:arg"`` string or frozen
+    scenario dataclass — all picklable).
+    """
+
+    key: Hashable
+    topology: object
+    library: Optional[NocLibrary] = None
+    buffer_depth: int = 4
+    packet_length_flits: int = 4
+    seed: int = 0
+    cycles: int = 20_000
+    warmup: int = 2_000
+    injection_scale: float = 1.0
+    scenario: Optional[object] = None
+    drain_limit: Optional[int] = None
+
+
 @dataclass
 class TaskResult:
     """Outcome of one task: a result or a captured error, never both.
@@ -170,6 +200,8 @@ def run_task(task) -> TaskResult:
         return _run_floorplan_task(task)
     if isinstance(task, ConstrainedInsertTask):
         return _run_constrained_task(task)
+    if isinstance(task, SimulationTask):
+        return _run_simulation_task(task)
     if task.skip:
         from repro.core.design_point import SynthesisResult
 
@@ -219,6 +251,25 @@ def _run_constrained_task(task: ConstrainedInsertTask) -> TaskResult:
         from repro.floorplan.constrained import run_insertion_restart
 
         return run_insertion_restart(task)
+
+    return _timed_task(task.key, body)
+
+
+def _run_simulation_task(task: SimulationTask) -> TaskResult:
+    def body():
+        from repro.noc.simulator import WormholeSimulator
+
+        sim = WormholeSimulator(
+            task.topology, task.library,
+            buffer_depth=task.buffer_depth,
+            packet_length_flits=task.packet_length_flits,
+            seed=task.seed,
+        )
+        return sim.run(
+            cycles=task.cycles, warmup=task.warmup,
+            injection_scale=task.injection_scale,
+            scenario=task.scenario, drain_limit=task.drain_limit,
+        )
 
     return _timed_task(task.key, body)
 

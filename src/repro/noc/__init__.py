@@ -10,6 +10,19 @@ to validate the analytic latency model.
 from repro.noc.topology import Endpoint, Link, Switch, Topology
 from repro.noc.deadlock import ChannelDependencyGraph
 from repro.noc.metrics import NocMetrics, compute_metrics
+from repro.noc.scenarios import (
+    BernoulliScenario,
+    BurstyScenario,
+    HotspotScenario,
+    ScaledScenario,
+    TrafficScenario,
+    make_scenario,
+)
+from repro.noc.simulator import (
+    SimulationStats,
+    WormholeSimulator,
+    simulate_design_point,
+)
 from repro.noc.wire_stats import wire_length_histogram
 
 __all__ = [
@@ -21,4 +34,13 @@ __all__ = [
     "NocMetrics",
     "compute_metrics",
     "wire_length_histogram",
+    "BernoulliScenario",
+    "BurstyScenario",
+    "HotspotScenario",
+    "ScaledScenario",
+    "TrafficScenario",
+    "make_scenario",
+    "SimulationStats",
+    "WormholeSimulator",
+    "simulate_design_point",
 ]

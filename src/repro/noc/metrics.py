@@ -163,15 +163,21 @@ def compute_metrics(
 
     # NI power: one NI per attached core; traffic through it is the core's
     # injected + ejected bandwidth. Accounted to the core-to-switch category.
+    # One pass over the routes accumulates both directions per core; the
+    # per-core partial sums add in route order, exactly like the former
+    # per-core rescans, so the totals are bit-identical.
     ni_count = len(topology.core_to_switch)
+    in_bw: Dict[int, float] = {core: 0.0 for core in topology.core_to_switch}
+    out_bw: Dict[int, float] = {core: 0.0 for core in topology.core_to_switch}
+    for flow in topology.routes:
+        bw = _flow_bandwidth(topology, flow)
+        src, dst = flow
+        if src in out_bw:
+            out_bw[src] += bw
+        if dst in in_bw:
+            in_bw[dst] += bw
     for core in topology.core_to_switch:
-        in_bw = sum(
-            _flow_bandwidth(topology, f) for f in topology.routes if f[1] == core
-        )
-        out_bw = sum(
-            _flow_bandwidth(topology, f) for f in topology.routes if f[0] == core
-        )
-        rate = flits_per_second(in_bw + out_bw, width) * width_factor
+        rate = flits_per_second(in_bw[core] + out_bw[core], width) * width_factor
         core2sw_power += rate * library.link.ni_energy_pj * 1e-3
 
     # --- latency -------------------------------------------------------------

@@ -1,44 +1,54 @@
 """Flit-level wormhole NoC simulator.
 
 A validation substrate for the analytic zero-load latency model used in the
-paper's tables: packets are injected per flow at the specified bandwidth,
-traverse their static synthesized route flit by flit under wormhole flow
-control (per-input-link FIFO buffers, credit back-pressure, round-robin
-output arbitration, one-cycle switch traversal, multi-cycle pipelined links),
-and per-packet latency is recorded.
+paper's tables: packets are injected per flow at the specified bandwidth
+(shaped by a :mod:`repro.noc.scenarios` traffic scenario), traverse their
+static synthesized route flit by flit under wormhole flow control
+(per-input-link FIFO buffers, credit back-pressure, round-robin output
+arbitration, one-cycle switch traversal, multi-cycle pipelined links), and
+per-packet latency is recorded.
 
 At low utilisation the measured average latency converges to the analytic
 zero-load value plus the packet serialisation time; under load it grows with
 contention — behaviour the analytic model deliberately ignores.
+
+Model invariants:
+
+* a link accepts at most one flit per cycle at its head *and* delivers at
+  most one flit per cycle at its tail — back-pressure can delay a flit but
+  never lets the pipeline dump its backlog in a burst;
+* after the injection horizon the network *drains*: in-flight packets keep
+  moving (no new injections) until the network empties or a drain bound is
+  hit, so at light load the delivery ratio is exactly 1.0 rather than
+  structurally undercounting packets injected near the horizon.
+
+:meth:`WormholeSimulator.run` executes on the array-based engine of
+:mod:`repro.noc.simengine`; the frozen pre-optimisation baseline lives in
+:mod:`repro.noc.reference` and the regression suite asserts both produce
+bit-identical trajectories.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SynthesisError
 from repro.models.library import NocLibrary, default_library
+from repro.noc import simengine
+from repro.noc.scenarios import ScenarioSpec
 from repro.noc.topology import Topology
-from repro.rng import make_rng
 
 Flow = Tuple[int, int]
 
 
 @dataclass
-class _Flit:
-    flow: Flow
-    packet_id: int
-    is_head: bool
-    is_tail: bool
-    inject_cycle: int
-    hop: int  # index into the flow's route (which link it is ON/entering)
-
-
-@dataclass
 class SimulationStats:
-    """Results of one simulation run."""
+    """Results of one simulation run.
+
+    ``cycles`` is the injection horizon; ``drain_cycles`` counts the extra
+    post-horizon cycles simulated to flush in-flight packets.
+    """
 
     cycles: int
     packets_injected: int
@@ -48,6 +58,7 @@ class SimulationStats:
     max_packet_latency: int
     per_flow_latency: Dict[Flow, float] = field(default_factory=dict)
     per_flow_delivered: Dict[Flow, int] = field(default_factory=dict)
+    drain_cycles: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -104,169 +115,42 @@ class WormholeSimulator:
         cycles: int = 20_000,
         warmup: int = 2_000,
         injection_scale: float = 1.0,
+        *,
+        scenario: ScenarioSpec = None,
+        drain_limit: Optional[int] = None,
+        trace: Optional[List[tuple]] = None,
     ) -> SimulationStats:
-        """Simulate ``cycles`` cycles (statistics skip the warmup period)."""
+        """Inject for ``cycles`` cycles, then drain; stats skip the warmup.
+
+        Args:
+            cycles: Injection horizon (must exceed ``warmup``).
+            warmup: Packets injected before this cycle are simulated but not
+                counted in the statistics.
+            injection_scale: Multiplier on every flow's specification rate.
+            scenario: Traffic scenario (name, spec string or
+                :class:`~repro.noc.scenarios.TrafficScenario`); ``None`` is
+                the per-flow Bernoulli process.
+            drain_limit: Maximum post-horizon cycles to flush in-flight
+                packets (``None`` = ``cycles``; ``0`` = stop at the horizon,
+                the pre-drain behaviour).
+            trace: Optional list collecting per-cycle link-delivery events
+                ``("deliver"|"eject", cycle, link_id, packet_id)`` — the
+                trajectory the regression suite compares between this engine
+                and the frozen reference.
+        """
         if cycles <= warmup:
             raise SynthesisError("cycles must exceed warmup")
-        rng = make_rng(self.seed, "wormhole")
-        topo = self.topology
-
-        # Per-link FIFO of (ready_cycle, flit) modelling wire pipeline, plus
-        # an occupancy counter modelling the downstream input buffer credit.
-        in_flight: List[Deque[Tuple[int, _Flit]]] = [deque() for _ in topo.links]
-        buffers: List[Deque[_Flit]] = [deque() for _ in topo.links]
-        # Wormhole allocation: output link id -> (flow, packet_id) currently
-        # holding it, or None.
-        allocation: Dict[int, Optional[Tuple[Flow, int]]] = {
-            l.id: None for l in topo.links
-        }
-        rr_pointer: Dict[int, int] = {l.id: 0 for l in topo.links}
-
-        # Source queues (unbounded) per flow.
-        src_queues: Dict[Flow, Deque[_Flit]] = {f: deque() for f in topo.routes}
-        next_packet_id = 0
-
-        injected = 0
-        delivered = 0
-        flits_delivered = 0
-        latencies: List[int] = []
-        per_flow_lat: Dict[Flow, List[int]] = {f: [] for f in topo.routes}
-
-        flows = sorted(topo.routes)
-        link_inputs = self._inputs_per_link()
-
-        for cycle in range(cycles):
-            # 1. Packet generation.
-            for flow in flows:
-                prob = self._inject_prob[flow] * injection_scale
-                if rng.random() < prob:
-                    pid = next_packet_id
-                    next_packet_id += 1
-                    for k in range(self.packet_length):
-                        src_queues[flow].append(_Flit(
-                            flow=flow, packet_id=pid,
-                            is_head=(k == 0),
-                            is_tail=(k == self.packet_length - 1),
-                            inject_cycle=cycle, hop=0,
-                        ))
-                    if cycle >= warmup:
-                        injected += 1
-
-            # 2. Link delivery: flits whose pipeline delay elapsed enter the
-            # downstream buffer (or are ejected at a core).
-            for lid, pipe in enumerate(in_flight):
-                while pipe and pipe[0][0] <= cycle:
-                    ready, flit = pipe[0]
-                    link = topo.links[lid]
-                    route = topo.routes[flit.flow]
-                    if flit.hop == len(route) - 1:
-                        # Final link: ejection into the destination core.
-                        pipe.popleft()
-                        flits_delivered += 1
-                        if flit.is_tail:
-                            lat = cycle - flit.inject_cycle
-                            if flit.inject_cycle >= warmup:
-                                delivered += 1
-                                latencies.append(lat)
-                                per_flow_lat[flit.flow].append(lat)
-                            if allocation[lid] == (flit.flow, flit.packet_id):
-                                allocation[lid] = None
-                    else:
-                        if len(buffers[lid]) < self.buffer_depth:
-                            pipe.popleft()
-                            buffers[lid].append(flit)
-                        else:
-                            break  # back-pressure
-
-            # 3. Injection links: source queue -> first link of the route.
-            # Rotate the service order cycle by cycle so flows sharing an
-            # injection link get fair access under saturation.
-            offset = cycle % len(flows)
-            for flow in flows[offset:] + flows[:offset]:
-                queue = src_queues[flow]
-                if not queue:
-                    continue
-                first_link = topo.routes[flow][0]
-                flit = queue[0]
-                if self._try_send(flit, first_link, allocation, in_flight, cycle):
-                    queue.popleft()
-
-            # 4. Switch arbitration: for every output link pick one input
-            # buffer (round-robin) whose head flit goes that way.
-            for out_id, inputs in link_inputs.items():
-                if not inputs:
-                    continue
-                n = len(inputs)
-                start = rr_pointer[out_id]
-                for k in range(n):
-                    in_id = inputs[(start + k) % n]
-                    buf = buffers[in_id]
-                    if not buf:
-                        continue
-                    flit = buf[0]
-                    route = topo.routes[flit.flow]
-                    if flit.hop + 1 >= len(route):
-                        continue
-                    if route[flit.hop + 1] != out_id:
-                        continue
-                    advanced = _Flit(
-                        flow=flit.flow, packet_id=flit.packet_id,
-                        is_head=flit.is_head, is_tail=flit.is_tail,
-                        inject_cycle=flit.inject_cycle, hop=flit.hop + 1,
-                    )
-                    if self._try_send(advanced, out_id, allocation, in_flight, cycle):
-                        buf.popleft()
-                        rr_pointer[out_id] = (inputs.index(in_id) + 1) % n
-                        break  # one flit per output per cycle
-                    # Send refused (output allocated to another packet or
-                    # pipeline slot taken): keep scanning — a different
-                    # input may hold the packet that owns this output.
-                    continue
-
-        avg = sum(latencies) / len(latencies) if latencies else 0.0
-        stats = SimulationStats(
+        return simengine.simulate(
+            self,
             cycles=cycles,
-            packets_injected=injected,
-            packets_delivered=delivered,
-            flits_delivered=flits_delivered,
-            avg_packet_latency=avg,
-            max_packet_latency=max(latencies) if latencies else 0,
+            warmup=warmup,
+            injection_scale=injection_scale,
+            scenario=scenario,
+            drain_limit=drain_limit,
+            trace=trace,
         )
-        for flow, vals in per_flow_lat.items():
-            stats.per_flow_delivered[flow] = len(vals)
-            if vals:
-                stats.per_flow_latency[flow] = sum(vals) / len(vals)
-        return stats
 
     # -- helpers -------------------------------------------------------------
-
-    def _try_send(
-        self,
-        flit: _Flit,
-        link_id: int,
-        allocation: Dict[int, Optional[Tuple[Flow, int]]],
-        in_flight: List[Deque[Tuple[int, _Flit]]],
-        cycle: int,
-    ) -> bool:
-        """Wormhole-aware send of a flit onto a link (one per cycle)."""
-        # One flit enters a link per cycle: model by checking the last
-        # scheduled entry time.
-        pipe = in_flight[link_id]
-        if pipe and pipe[-1][0] >= cycle + self._link_delay[link_id]:
-            return False
-        holder = allocation[link_id]
-        key = (flit.flow, flit.packet_id)
-        if flit.is_head:
-            if holder is not None:
-                return False
-            allocation[link_id] = key
-        else:
-            if holder != key:
-                return False
-        pipe.append((cycle + self._link_delay[link_id], flit))
-        if flit.is_tail:
-            allocation[link_id] = None
-        return True
 
     def _inputs_per_link(self) -> Dict[int, List[int]]:
         """For each output link of a switch, the input links of that switch."""
@@ -289,7 +173,20 @@ def simulate_design_point(
     warmup: int = 2_000,
     injection_scale: float = 1.0,
     seed: int = 0,
+    library: Optional[NocLibrary] = None,
+    buffer_depth: int = 4,
+    packet_length_flits: int = 4,
+    scenario: ScenarioSpec = None,
+    drain_limit: Optional[int] = None,
 ) -> SimulationStats:
     """Convenience wrapper: simulate a :class:`DesignPoint`'s topology."""
-    sim = WormholeSimulator(point.topology, seed=seed)
-    return sim.run(cycles=cycles, warmup=warmup, injection_scale=injection_scale)
+    sim = WormholeSimulator(
+        point.topology, library,
+        buffer_depth=buffer_depth,
+        packet_length_flits=packet_length_flits,
+        seed=seed,
+    )
+    return sim.run(
+        cycles=cycles, warmup=warmup, injection_scale=injection_scale,
+        scenario=scenario, drain_limit=drain_limit,
+    )

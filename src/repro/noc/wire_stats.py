@@ -9,7 +9,7 @@ the experiment harness prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,7 +28,7 @@ class WireLengthBin:
 def wire_length_histogram(
     lengths_mm: Sequence[float],
     bin_width_mm: float = 0.5,
-    max_mm: float = None,
+    max_mm: Optional[float] = None,
 ) -> List[WireLengthBin]:
     """Histogram of wire lengths with fixed-width bins.
 
@@ -44,6 +44,8 @@ def wire_length_histogram(
     """
     if bin_width_mm <= 0:
         raise ValueError(f"bin width must be positive, got {bin_width_mm}")
+    if max_mm is not None and max_mm <= 0:
+        raise ValueError(f"max_mm must be positive, got {max_mm}")
     if any(l < 0 for l in lengths_mm):
         raise ValueError("wire lengths must be non-negative")
 

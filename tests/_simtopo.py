@@ -1,0 +1,53 @@
+"""Shared hand-built simulator test topology (importable, not a fixture).
+
+Lives in its own module (rather than conftest.py) because the benchmarks
+harness also ships a ``conftest`` module, and a full-tree pytest run puts
+both directories on ``sys.path`` — ``from conftest import ...`` would
+resolve to whichever loaded first.
+"""
+
+from repro.noc.topology import Topology
+
+
+def contended_topology(shared_length_mm: float = 6.0) -> Topology:
+    """4 cores on 2 switches with a shared, pipelined sw0->sw1 link.
+
+    Flows (0,2) and (1,2) also share core 2's ejection link, so wormhole
+    back-pressure, multi-flit pipelines and round-robin arbitration are all
+    exercised — the simulator test bed.
+    """
+    topo = Topology(frequency_mhz=400.0, width_bits=32)
+    topo.add_switch(0)
+    topo.add_switch(0)
+    topo.attach_core(0, 0, 0)
+    topo.attach_core(1, 0, 0)
+    topo.attach_core(2, 1, 0)
+    topo.attach_core(3, 1, 0)
+    fwd = topo.add_switch_link(0, 1)
+    back = topo.add_switch_link(1, 0)
+    for link in topo.links:
+        link.length_mm = 0.5
+    fwd.length_mm = shared_length_mm
+    inj = {c: topo.injection_link(c).id for c in range(4)}
+    ej = {c: topo.ejection_link(c).id for c in range(4)}
+    topo.record_route((0, 2), [inj[0], fwd.id, ej[2]], [0, 1], 400.0)
+    topo.record_route((1, 3), [inj[1], fwd.id, ej[3]], [0, 1], 300.0)
+    topo.record_route((1, 2), [inj[1], fwd.id, ej[2]], [0, 1], 200.0)
+    topo.record_route((3, 0), [inj[3], back.id, ej[0]], [1, 0], 250.0)
+    return topo
+
+
+def cross_contended_topology(shared_length_mm: float = 6.0) -> Topology:
+    """:func:`contended_topology` plus a local (3, 2) cross flow.
+
+    The cross flow contends for core 2's ejection link from a *second*
+    input buffer, so the shared link's buffer head gets refused (wormhole
+    allocation held by the other input) while the link keeps delivering —
+    the exact back-pressure pattern under which the pre-fix simulator
+    dumped its ready backlog in a single cycle.
+    """
+    topo = contended_topology(shared_length_mm)
+    inj3 = topo.injection_link(3).id
+    ej2 = topo.ejection_link(2).id
+    topo.record_route((3, 2), [inj3, ej2], [1], 350.0)
+    return topo

@@ -36,6 +36,13 @@ def grid_core_spec(n: int, num_layers: int, side: float = 1.0, gap: float = 0.3)
 
 
 @pytest.fixture
+def contended_topo():
+    from _simtopo import contended_topology
+
+    return contended_topology()
+
+
+@pytest.fixture
 def library():
     return default_library()
 

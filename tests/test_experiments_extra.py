@@ -34,3 +34,39 @@ class TestSimulationValidation:
     def test_delivery_healthy(self, table):
         for row in table.rows:
             assert row["delivery_ratio"] > 0.85
+
+    def test_scenario_and_seed_columns(self, table):
+        assert all(row["scenario"] == "bernoulli" for row in table.rows)
+        assert all(row["seed"] == 0 for row in table.rows)
+
+
+class TestSimulationCampaign:
+    def test_serial_parallel_bit_identical(self):
+        kwargs = dict(
+            benchmark="d26_media",
+            injection_scales=(0.2, 0.7),
+            scenarios=("bernoulli", "hotspot"),
+            seeds=(0, 1),
+            cycles=3_000,
+            warmup=300,
+            config=SMALL,
+        )
+        serial = run_simulation_validation(jobs=1, **kwargs)
+        parallel = run_simulation_validation(jobs=2, **kwargs)
+        assert serial.rows == parallel.rows
+        assert len(serial.rows) == 2 * 2 * 2
+
+    def test_custom_library_shifts_analytics_and_simulation(self):
+        from repro.models.library import default_library
+
+        slow = default_library().with_link(wire_delay_ns_per_mm=9.0)
+        base = run_simulation_validation(
+            "d26_media", injection_scales=(0.2,), cycles=3_000, warmup=300,
+            config=SMALL,
+        )
+        slowed = run_simulation_validation(
+            "d26_media", injection_scales=(0.2,), cycles=3_000, warmup=300,
+            config=SMALL, library=slow,
+        )
+        assert slowed.rows[0]["analytic_cyc"] > base.rows[0]["analytic_cyc"]
+        assert slowed.rows[0]["sim_latency_cyc"] > base.rows[0]["sim_latency_cyc"]

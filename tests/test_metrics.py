@@ -128,3 +128,57 @@ class TestComputeMetrics:
         link_lengths_from_positions(topo, centers)
         m = compute_metrics(topo, centers, default_library())
         assert m.ni_area_mm2 == pytest.approx(2 * default_library().link.ni_area_mm2)
+
+
+class TestNiPowerAccounting:
+    """The one-pass per-core bandwidth accumulation must equal the former
+    O(cores x flows) per-core rescan exactly (same additions, same order)."""
+
+    def _old_style_ni_power(self, topo, library):
+        from repro.units import flits_per_second
+
+        width = topo.width_bits
+        width_factor = width / 32.0
+        total = 0.0
+        for core in topo.core_to_switch:
+            in_bw = sum(
+                topo.flow_bandwidth[f] for f in topo.routes if f[1] == core
+            )
+            out_bw = sum(
+                topo.flow_bandwidth[f] for f in topo.routes if f[0] == core
+            )
+            rate = flits_per_second(in_bw + out_bw, width) * width_factor
+            total += rate * library.link.ni_energy_pj * 1e-3
+        return total
+
+    def test_matches_old_rescan_exactly(self):
+        from _simtopo import contended_topology
+
+        topo = contended_topology()
+        centers = {c: (float(c), 0.5) for c in range(4)}
+        for sw in topo.switches:
+            sw.x, sw.y = 1.0, 0.5
+        link_lengths_from_positions(topo, centers)
+        lib = default_library()
+        m = compute_metrics(topo, centers, lib)
+
+        # Recompute the whole core2sw bucket minus NI power, then add the
+        # old-style NI accounting: must land on the same float.
+        from repro.units import flits_per_second
+
+        width_factor = topo.width_bits / 32.0
+        core2sw_links = 0.0
+        for link in topo.links:
+            if not link.is_core_link:
+                continue
+            rate = flits_per_second(link.load_mbps, topo.width_bits) * width_factor
+            power = (
+                lib.link.static_power_mw(link.length_mm) * width_factor
+                + lib.link.traffic_power_mw(link.length_mm, rate)
+            )
+            if link.is_vertical:
+                power += lib.tsv.traffic_power_mw(link.layers_crossed, rate)
+                power += lib.tsv.static_mw_per_link * link.layers_crossed * width_factor
+            core2sw_links += power
+        expected = core2sw_links + self._old_style_ni_power(topo, lib)
+        assert m.core2sw_link_power_mw == expected

@@ -1,0 +1,208 @@
+"""Traffic-scenario library (repro.noc.scenarios)."""
+
+import pytest
+
+from _simtopo import contended_topology
+
+from repro.errors import SynthesisError
+from repro.noc.scenarios import (
+    BernoulliScenario,
+    BurstyScenario,
+    HotspotScenario,
+    ScaledScenario,
+    build_schedule,
+    make_scenario,
+)
+from repro.noc.simulator import WormholeSimulator
+from repro.rng import make_rng
+
+FLOWS = [(0, 2), (1, 3), (1, 2), (3, 0)]
+
+
+def _schedule(scenario, probs, cycles=4000, seed=0):
+    return build_schedule(
+        scenario, FLOWS[: len(probs)], probs, cycles, make_rng(seed, "t")
+    )
+
+
+def _count(schedule, fi):
+    return sum(1 for row in schedule for f in row if f == fi)
+
+
+class TestFactory:
+    def test_none_is_bernoulli(self):
+        assert isinstance(make_scenario(None), BernoulliScenario)
+
+    def test_passthrough(self):
+        scen = HotspotScenario(hotspot_core=2)
+        assert make_scenario(scen) is scen
+
+    def test_names_and_args(self):
+        assert isinstance(make_scenario("bernoulli"), BernoulliScenario)
+        assert make_scenario("hotspot:3").hotspot_core == 3
+        assert make_scenario("bursty:16").mean_burst_cycles == 16.0
+        assert make_scenario("scaled:1.5").factor == 1.5
+
+    def test_rejects_unknown_and_malformed(self):
+        with pytest.raises(SynthesisError):
+            make_scenario("storm")
+        with pytest.raises(SynthesisError):
+            make_scenario("scaled:lots")
+        with pytest.raises(SynthesisError):
+            make_scenario("bernoulli:1")
+        with pytest.raises(SynthesisError):
+            make_scenario(42)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SynthesisError):
+            HotspotScenario(boost=0.0)
+        with pytest.raises(SynthesisError):
+            BurstyScenario(mean_burst_cycles=0.5)
+        with pytest.raises(SynthesisError):
+            ScaledScenario(factor=-1.0)
+
+    def test_labels(self):
+        assert make_scenario(None).label() == "bernoulli"
+        assert "hotspot" in make_scenario("hotspot:2").label()
+
+
+class TestSchedules:
+    def test_shape_and_order(self):
+        sched = _schedule(None, [0.3, 0.2, 0.5, 0.1], cycles=500)
+        assert len(sched) == 500
+        for row in sched:
+            assert row == sorted(row)
+            assert len(set(row)) == len(row)
+            assert all(0 <= fi < 4 for fi in row)
+
+    def test_bernoulli_rate_matches_probability(self):
+        p = 0.2
+        counts = [
+            _count(_schedule(None, [p], cycles=2000, seed=s), 0)
+            for s in range(10)
+        ]
+        rate = sum(counts) / (10 * 2000)
+        assert rate == pytest.approx(p, rel=0.1)
+
+    def test_probability_one_injects_every_cycle(self):
+        sched = _schedule(None, [1.0, 0.0], cycles=100)
+        assert all(row == [0] for row in sched)
+
+    def test_zero_probability_never_injects(self):
+        sched = _schedule(None, [0.0], cycles=200)
+        assert all(row == [] for row in sched)
+
+    def test_subnormal_probability_does_not_crash(self):
+        """Regression: log(1.0 - p) underflows to 0 for p < ~1.1e-16 and
+        used to raise ZeroDivisionError; log1p keeps the gap finite."""
+        sched = _schedule(None, [1e-17, 1e-300], cycles=500)
+        assert sum(len(row) for row in sched) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_schedule(None, FLOWS, [0.1], 10, make_rng(0, "t"))
+
+
+class TestHotspot:
+    def test_auto_pick_busiest_destination(self):
+        # Core 2 receives two of the four FLOWS.
+        assert HotspotScenario().pick_hotspot(FLOWS) == 2
+
+    def test_boost_raises_hot_flow_rate(self):
+        probs = [0.05, 0.05, 0.05, 0.05]
+        plain = _schedule(None, probs, seed=1)
+        hot = _schedule(HotspotScenario(hotspot_core=2, boost=4.0), probs, seed=1)
+        # Flows 0 and 2 target core 2; their injection count quadruples.
+        hot_count = _count(hot, 0) + _count(hot, 2)
+        plain_count = _count(plain, 0) + _count(plain, 2)
+        assert hot_count > 2.5 * plain_count
+        # The cold flows keep their specification rate (statistically).
+        assert _count(hot, 1) + _count(hot, 3) == pytest.approx(
+            _count(plain, 1) + _count(plain, 3), rel=0.3
+        )
+
+    def test_hotspot_raises_hot_switch_latency(self):
+        """Behavioural: overloading core 2 grows the latency of the flows
+        through its switch above the uniform-traffic baseline."""
+        topo = contended_topology()
+        uniform = WormholeSimulator(topo, seed=4).run(
+            cycles=6000, warmup=600, injection_scale=0.8
+        )
+        hotspot = WormholeSimulator(topo, seed=4).run(
+            cycles=6000, warmup=600, injection_scale=0.8,
+            scenario=HotspotScenario(hotspot_core=2, boost=4.0),
+        )
+        hot_flows = [f for f in topo.routes if f[1] == 2]
+        uniform_hot = sum(uniform.per_flow_latency[f] for f in hot_flows)
+        hotspot_hot = sum(hotspot.per_flow_latency[f] for f in hot_flows)
+        assert hotspot_hot > uniform_hot
+
+
+class TestBursty:
+    @pytest.mark.parametrize("p", [0.08, 0.7, 0.9, 0.95])
+    def test_mean_load_preserved(self, p):
+        """The same-mean-load contract must hold even where the required
+        OFF->ON rate exceeds 1 (near-capacity flows, p > ~0.89 with the
+        defaults) — the chain then degenerates rather than under-offering."""
+        plain = sum(
+            _count(_schedule(None, [p], seed=s), 0) for s in range(8)
+        )
+        bursty = sum(
+            _count(_schedule(BurstyScenario(), [p], seed=s), 0)
+            for s in range(8)
+        )
+        assert bursty == pytest.approx(plain, rel=0.2)
+
+    def test_burstier_than_bernoulli(self):
+        """Fano factor of per-window injection counts: on-off clumping
+        makes the variance-to-mean ratio exceed the Bernoulli baseline."""
+        p, window = 0.08, 50
+
+        def fano(scenario):
+            total_f = 0.0
+            for s in range(6):
+                sched = _schedule(scenario, [p], cycles=5000, seed=s)
+                counts = [
+                    sum(len(sched[c]) for c in range(w, w + window))
+                    for w in range(0, 5000, window)
+                ]
+                mean = sum(counts) / len(counts)
+                var = sum((c - mean) ** 2 for c in counts) / len(counts)
+                total_f += var / mean
+            return total_f / 6
+
+        assert fano(BurstyScenario(mean_burst_cycles=25.0, peak=6.0)) > \
+            1.8 * fano(None)
+
+    def test_bursty_raises_latency_at_equal_load(self):
+        """Behavioural: same offered load, clumped arrivals, more queueing."""
+        topo = contended_topology()
+        plain = WormholeSimulator(topo, seed=6).run(
+            cycles=8000, warmup=800, injection_scale=1.0
+        )
+        bursty = WormholeSimulator(topo, seed=6).run(
+            cycles=8000, warmup=800, injection_scale=1.0,
+            scenario=BurstyScenario(mean_burst_cycles=25.0, peak=6.0),
+        )
+        assert bursty.avg_packet_latency > plain.avg_packet_latency
+
+
+class TestScaled:
+    def test_factor_scales_injection_rate(self):
+        probs = [0.05, 0.05, 0.05, 0.05]
+        base = sum(
+            sum(len(r) for r in _schedule(None, probs, seed=s))
+            for s in range(6)
+        )
+        doubled = sum(
+            sum(len(r) for r in _schedule(ScaledScenario(2.0), probs, seed=s))
+            for s in range(6)
+        )
+        assert doubled == pytest.approx(2 * base, rel=0.15)
+
+    def test_zero_factor_silences_traffic(self, contended_topo):
+        stats = WormholeSimulator(contended_topo, seed=1).run(
+            cycles=500, warmup=100, scenario="scaled:0"
+        )
+        assert stats.packets_injected == 0
+        assert stats.delivery_ratio == 1.0

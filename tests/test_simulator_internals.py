@@ -1,9 +1,16 @@
-"""Wormhole simulator internals (repro.noc.simulator)."""
+"""Wormhole simulator internals (repro.noc.simulator + repro.noc.reference).
+
+Construction details and end-to-end latency checks run on the public
+:class:`WormholeSimulator` (the array-based engine); the per-flit
+allocation unit tests exercise the frozen naive reference's `_try_send`,
+whose semantics the engine reproduces bit for bit (see test_simengine).
+"""
 
 import pytest
 
 from repro.models.library import default_library
-from repro.noc.simulator import WormholeSimulator, _Flit
+from repro.noc.reference import ReferenceWormholeSimulator, _Flit
+from repro.noc.simulator import WormholeSimulator
 from repro.noc.topology import Topology
 
 
@@ -62,7 +69,7 @@ class TestConstructionDetails:
 class TestWormholeAllocation:
     def test_head_flit_allocates_and_tail_releases(self):
         topo = _linear_topology()
-        sim = WormholeSimulator(topo)
+        sim = ReferenceWormholeSimulator(topo)
         allocation = {l.id: None for l in topo.links}
         in_flight = [[] for _ in topo.links]
         from collections import deque
@@ -86,7 +93,7 @@ class TestWormholeAllocation:
 
     def test_one_flit_per_cycle_per_link(self):
         topo = _linear_topology()
-        sim = WormholeSimulator(topo)
+        sim = ReferenceWormholeSimulator(topo)
         from collections import deque
 
         allocation = {l.id: None for l in topo.links}

@@ -50,3 +50,17 @@ class TestLengthStats:
 
     def test_empty(self):
         assert length_stats([]) == (0.0, 0.0, 0.0)
+
+
+class TestMaxMmValidation:
+    def test_rejects_non_positive_max(self):
+        with pytest.raises(ValueError):
+            wire_length_histogram([1.0], 0.5, max_mm=0.0)
+        with pytest.raises(ValueError):
+            wire_length_histogram([1.0], 0.5, max_mm=-2.0)
+
+    def test_annotation_is_optional_float(self):
+        import typing
+
+        hints = typing.get_type_hints(wire_length_histogram)
+        assert hints["max_mm"] == typing.Optional[float]
