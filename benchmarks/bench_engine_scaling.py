@@ -6,7 +6,11 @@ Not a paper figure: this is the repo's own perf-trajectory gate. It runs
 ``BENCH_engine.json`` at the repo root, and asserts
 
 * the optimised ``compute_paths`` beats the frozen naive baseline by
-  >= 1.3x single-threaded while producing identical routes, and
+  >= 1.3x single-threaded while producing identical routes,
+* a warm result-store rerun of the sweep beats the cold (computing) run by
+  >= 5x wall-clock with every point served from disk and a merge identical
+  to the storeless baseline — this gate is CPU-count independent (reading
+  pickles is cheap everywhere), and
 * a 4-worker frequency × α grid sweep beats the serial baseline by
   >= 2x wall-clock — when the machine actually has >= 4 CPUs; on smaller
   boxes (CI containers pinned to one core) the speedup is recorded but
@@ -26,6 +30,7 @@ OUTPUT = REPO_ROOT / "BENCH_engine.json"
 SWEEP_JOBS = 4
 SWEEP_SPEEDUP_FLOOR = 2.0
 PATHS_SPEEDUP_FLOOR = 1.3
+CACHE_SPEEDUP_FLOOR = 5.0
 
 
 def _run():
@@ -52,6 +57,16 @@ def test_engine_scaling(benchmark):
     assert paths["speedup"] >= PATHS_SPEEDUP_FLOOR, (
         f"compute_paths speedup {paths['speedup']}x below "
         f"{PATHS_SPEEDUP_FLOOR}x"
+    )
+
+    # Warm-cache rerun: every point served from the store, identical merge,
+    # and at least 5x cheaper than computing. Unpickling is cheap on any
+    # machine, so this floor holds regardless of CPU count.
+    cache = report["cache"]
+    assert cache["identical_results"]
+    assert cache["warm_hits"] == cache["grid_points"]
+    assert cache["speedup"] >= CACHE_SPEEDUP_FLOOR, (
+        f"warm-cache speedup {cache['speedup']}x below {CACHE_SPEEDUP_FLOOR}x"
     )
 
     # Sweep scaling: only meaningful when the workers have cores to run on.

@@ -257,6 +257,7 @@ def suite_design_space(
     jobs: Optional[int] = None,
     progress: Optional["ProgressFn"] = None,
     stages: Optional[Sequence] = None,
+    store=None,
 ) -> Dict[str, Dict["GridPoint", "SynthesisResult"]]:
     """Explore an architectural grid over a whole benchmark suite at once.
 
@@ -275,6 +276,10 @@ def suite_design_space(
         stages: Optional staged-pipeline override (stage names or
             instances, see :func:`repro.core.pipeline.build_pipeline`)
             applied to every synthesis run of the exploration.
+        store: Optional :class:`~repro.engine.store.ResultStore`; finished
+            (benchmark, point) pairs are served from disk and fresh ones
+            checkpointed incrementally, so an interrupted exploration
+            resumes on rerun with bit-identical merged results.
 
     Returns:
         ``{benchmark name: {grid point: merged synthesis result}}`` with
@@ -302,7 +307,7 @@ def suite_design_space(
                 task, key=(name, task.key), stages=stage_spec,
             ))
 
-    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
     merged: Dict[str, Dict["GridPoint", "SynthesisResult"]] = {}
     for task_result in results:
         name, point = task_result.key

@@ -17,6 +17,11 @@ Sub-commands:
   engine pool (``--jobs``); see ``docs/simulator.md``.
 * ``bench``      — run the engine scaling benchmark and write
   ``BENCH_engine.json`` (perf trajectory tracking).
+* ``cache``      — inspect or manage the content-addressed on-disk result
+  store (``stats`` / ``verify`` / ``clear``); ``synth``, ``sweep`` and
+  ``sim`` accept ``--cache`` / ``--cache-dir DIR`` to serve
+  already-computed results from the store and checkpoint fresh ones, so a
+  killed campaign resumes on rerun (see ``docs/engine.md``).
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig17, fig18, fig19,
   fig21, fig23, table1).
@@ -86,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the chosen design point as JSON")
     synth.add_argument("--export-dot", metavar="PATH",
                        help="write the topology as Graphviz DOT")
+    _add_cache_args(synth)
 
     sweep = sub.add_parser(
         "sweep", help="explore an architectural design space in parallel"
@@ -110,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="power")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
+    _add_cache_args(sweep)
 
     sim = sub.add_parser(
         "sim",
@@ -141,6 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
                           "way)")
     sim.add_argument("--quiet", action="store_true",
                      help="suppress per-run progress lines")
+    _add_cache_args(sim)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or manage the on-disk result store",
+    )
+    cache.add_argument("action", choices=("stats", "verify", "clear"),
+                       help="stats: entry/size summary; verify: audit every "
+                            "entry (--repair deletes corrupt ones); clear: "
+                            "delete all entries")
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="store location (default: $REPRO_CACHE_DIR or "
+                            ".repro-cache)")
+    cache.add_argument("--repair", action="store_true",
+                       help="with verify: delete entries that fail the audit")
 
     bench = sub.add_parser(
         "bench", help="run the engine scaling benchmark (BENCH_engine.json)"
@@ -159,6 +181,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("benchmarks", help="list built-in benchmarks")
     return parser
+
+
+def _add_cache_args(parser) -> None:
+    parser.add_argument("--cache", action="store_true",
+                        help="serve already-computed results from the "
+                             "on-disk store and checkpoint fresh ones "
+                             "(default dir: $REPRO_CACHE_DIR or "
+                             ".repro-cache)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="store location (implies --cache)")
+
+
+def _open_store(args):
+    """The run's ResultStore, or None when caching was not requested.
+
+    An unwritable or invalid ``--cache-dir`` raises
+    :class:`~repro.errors.StoreError` here — before any synthesis work —
+    with a clear message instead of a traceback from the store layer.
+    """
+    if not getattr(args, "cache", False) and args.cache_dir is None:
+        return None
+    from repro.engine.store import open_store
+
+    return open_store(args.cache_dir)
 
 
 def _parse_values(text, cast, what):
@@ -219,10 +265,35 @@ def _cmd_synth(args) -> int:
         floorplan_restarts=args.floorplan_restarts,
         floorplan_jobs=args.floorplan_jobs,
     )
+    store = _open_store(args)
     tool = SunFloor3D(core_spec, comm_spec, config=config)
-    result = tool.synthesize(jobs=args.jobs)
+    cached = False
+    if store is not None:
+        # The whole run is one content-addressed unit: a rerun with the
+        # same specs + config is served from disk without synthesizing.
+        from repro.engine.profile import Timer
+        from repro.engine.tasks import SynthesisTask
+
+        task = SynthesisTask(key="synth", core_spec=core_spec,
+                             comm_spec=comm_spec, config=config)
+        fingerprint = store.fingerprint(task)
+        entry = store.get(fingerprint)
+        if entry is not None:
+            result = entry.payload
+            cached = True
+        else:
+            with Timer() as timer:
+                result = tool.synthesize(jobs=args.jobs)
+            store.put(fingerprint, result, task_type="SynthesisTask",
+                      elapsed_s=timer.elapsed_s)
+    else:
+        result = tool.synthesize(jobs=args.jobs)
     if args.stage_timings:
-        print(tool.last_stage_timings.report())
+        if cached:
+            print("per-stage timings unavailable: result served from the "
+                  "cache")
+        else:
+            print(tool.last_stage_timings.report())
         print()
     if result.is_empty:
         print("no valid design points found "
@@ -269,6 +340,7 @@ def _cmd_synth(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.engine import ParameterGrid, build_tasks, run_tasks
 
+    store = _open_store(args)  # fail fast on an unusable --cache-dir
     core_spec, comm_spec = _load_specs(args)
     config = SynthesisConfig(
         max_ill=args.max_ill,
@@ -287,7 +359,8 @@ def _cmd_sweep(args) -> int:
             print(f"  [{done}/{total}] {key.label()}")
     print(f"sweeping {len(tasks)} design point(s) "
           f"(jobs={args.jobs or 'auto'})")
-    results = run_tasks(tasks, jobs=args.jobs, progress=progress)
+    results = run_tasks(tasks, jobs=args.jobs, progress=progress,
+                        store=store)
 
     best = None
     print(f"\n{'point':36s} {'valid':>5s} {'best mW':>9s} {'best lat':>9s}")
@@ -317,6 +390,7 @@ def _cmd_sim(args) -> int:
     from repro.experiments.common import default_config_for
     from repro.experiments.simulation_validation import run_simulation_validation
 
+    store = _open_store(args)  # fail fast on an unusable --cache-dir
     config = default_config_for(
         args.benchmark,
         max_ill=args.max_ill,
@@ -340,6 +414,7 @@ def _cmd_sim(args) -> int:
         seeds=_parse_values(args.seeds, int, "seed"),
         jobs=args.jobs,
         progress=progress,
+        store=store,
     )
     print()
     table.print_table()
@@ -354,18 +429,69 @@ def _cmd_bench(args) -> int:
         log=print,
     )
     sweep = report["sweep"]
+    cache = report["cache"]
     paths = report["compute_paths"]
     floorplan = report["floorplan"]
     simulator = report["simulator"]
     print(
         f"\nsummary: sweep speedup {sweep['speedup']}x on {sweep['jobs']} "
         f"worker(s) ({report['cpu_count']} CPU(s) visible), "
+        f"warm-cache speedup {cache['speedup']}x, "
         f"compute_paths speedup {paths['speedup']}x, "
         f"floorplan anneal speedup {floorplan['speedup']}x "
         f"({floorplan['incremental_moves_per_s']:,.0f} moves/s), "
         f"simulator speedup {simulator['speedup']}x "
         f"({simulator['engine_cycles_per_s']:,.0f} cycles/s)"
     )
+    return 0
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # unreachable
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine.store import open_store
+
+    # Inspection-only open: auditing a store on a read-only mount must
+    # work, and `cache stats` of a missing store must not create one.
+    # clear / verify --repair only unlink existing files, which needs no
+    # directory creation or write probe either.
+    store = open_store(args.cache_dir, readonly=True)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store: {stats.root}")
+        print(f"entries: {stats.entries} ({_fmt_bytes(stats.total_bytes)})")
+        for task_type in sorted(stats.by_task_type):
+            print(f"  {task_type}: {stats.by_task_type[task_type]}")
+        return 0
+    if args.action == "verify":
+        report = store.verify(repair=args.repair)
+        print(f"checked {report.checked} entr"
+              f"{'y' if report.checked == 1 else 'ies'}: {report.ok} ok, "
+              f"{len(report.bad)} bad, {report.removed} removed")
+        for path, reason in report.bad:
+            print(f"  {path}: {reason}")
+        if report.clean:
+            return 0
+        # A repair only succeeds if every bad entry actually came off disk
+        # (unlink failures on read-only stores are swallowed by the layer
+        # below); exit 0 must mean "the store is clean now".
+        if args.repair and report.removed == len(report.bad):
+            return 0
+        return 1
+    removed, failed = store.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {store.root}")
+    if failed:
+        print(f"error: {failed} entr"
+              f"{'y' if failed == 1 else 'ies'} could not be removed",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -424,6 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sim(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "benchmarks":

@@ -95,6 +95,12 @@ class SynthesisConfig:
     floorplan_restarts: int = 1
     floorplan_jobs: int = 1
 
+    #: Results-invariant parallelism knob: excluded from result-store
+    #: fingerprints (repro.engine.store) like the benchmark-registry memo
+    #: key excludes it, so runs differing only in worker count share
+    #: cache entries for their bit-identical results.
+    __fingerprint_exclude__ = ("floorplan_jobs",)
+
     def __post_init__(self) -> None:
         if self.frequency_mhz <= 0:
             raise SpecError(f"frequency must be positive, got {self.frequency_mhz}")

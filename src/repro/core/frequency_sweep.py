@@ -17,7 +17,10 @@ the independent synthesis points across a process pool, and ``progress``
 for per-point callbacks. Sweep parameters are validated *up front* — an
 invalid value anywhere in the list aborts before any point is synthesized —
 and parallel runs merge deterministically, point for point identical to a
-serial run.
+serial run. Pass ``store`` (a :class:`~repro.engine.store.ResultStore`) to
+serve already-computed points from disk and checkpoint fresh ones as they
+finish — an interrupted sweep rerun with the same store resumes instead of
+recomputing, with bit-identical merged results.
 """
 
 from __future__ import annotations
@@ -93,6 +96,7 @@ def sweep_frequencies(
     *,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    store=None,
 ) -> FrequencySweepResult:
     """Run the synthesis flow once per frequency (in parallel for jobs != 1).
 
@@ -113,7 +117,7 @@ def sweep_frequencies(
         core_spec, comm_spec, ParameterGrid(frequencies_mhz=tuple(freqs)),
         base, library,
     )
-    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
     sweep = FrequencySweepResult()
     for freq, task_result in zip(freqs, results):
         sweep.per_frequency[freq] = task_result.result
@@ -129,6 +133,7 @@ def sweep_alpha(
     *,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    store=None,
 ) -> Dict[float, SynthesisResult]:
     """Sweep the PG weight parameter α of Def. 3.
 
@@ -145,7 +150,7 @@ def sweep_alpha(
         core_spec, comm_spec, ParameterGrid(alphas=tuple(values)),
         base, library, skip_infeasible=False,
     )
-    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
     return {
         alpha: task_result.result
         for alpha, task_result in zip(values, results)
@@ -161,6 +166,7 @@ def sweep_link_widths(
     *,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    store=None,
 ) -> Dict[int, SynthesisResult]:
     """Sweep the link data width (an architectural parameter of Sec. IV).
 
@@ -183,7 +189,7 @@ def sweep_link_widths(
         core_spec, comm_spec, ParameterGrid(link_widths_bits=tuple(widths)),
         base, library,
     )
-    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
     return {
         width: task_result.result
         for width, task_result in zip(widths, results)
@@ -199,11 +205,12 @@ def find_lowest_feasible_frequency(
     *,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    store=None,
 ) -> float:
     """The smallest swept frequency with at least one valid design point."""
     sweep = sweep_frequencies(
         core_spec, comm_spec, sorted(frequencies_mhz), library, config,
-        jobs=jobs, progress=progress,
+        jobs=jobs, progress=progress, store=store,
     )
     for freq in sweep.frequencies:
         if sweep.per_frequency[freq].points:

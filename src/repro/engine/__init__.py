@@ -13,6 +13,10 @@ package fans them across a process pool:
 * :mod:`repro.engine.grid` — :class:`ParameterGrid` /
   :class:`GridPoint`, the design-space cross product with up-front
   validation;
+* :mod:`repro.engine.store` — the content-addressed on-disk result store:
+  ``run_tasks(..., store=ResultStore(dir))`` serves already-computed points
+  from disk and checkpoints new ones incrementally, making campaigns
+  resumable;
 * :mod:`repro.engine.profile` — wall-clock timers backing
   ``BENCH_engine.json``;
 * :mod:`repro.engine.reference` — the frozen pre-optimisation routing
@@ -40,6 +44,7 @@ knobs.
 from repro.engine.executor import ProgressFn, resolve_jobs, run_tasks
 from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
 from repro.engine.profile import ProfileRecorder, Timer
+from repro.engine.store import ResultStore, fingerprint_task, open_store
 from repro.engine.tasks import (
     CandidateTask,
     SimulationTask,
@@ -54,11 +59,14 @@ __all__ = [
     "ParameterGrid",
     "ProfileRecorder",
     "ProgressFn",
+    "ResultStore",
     "SimulationTask",
     "SynthesisTask",
     "TaskResult",
     "Timer",
     "build_tasks",
+    "fingerprint_task",
+    "open_store",
     "resolve_jobs",
     "run_task",
     "run_tasks",

@@ -7,6 +7,10 @@ Measures the claims this subsystem makes and writes them to
   design, run serially and on a worker pool; reports wall-clock per
   synthesis point and the sweep-level speedup, and checks the merged
   design points are identical (order-normalised);
+* **result-store reuse** — the same sweep run cold (computing + writing a
+  fresh :class:`~repro.engine.store.ResultStore`) and warm (served entirely
+  from disk); reports the warm-over-cold speedup and checks the merged
+  points are identical to the storeless baseline;
 * **routing hot path** — ``compute_paths`` (optimised) versus the frozen
   naive baseline of :mod:`repro.engine.reference` on the same design,
   single-threaded; reports the speedup and checks route identity;
@@ -122,6 +126,7 @@ def run_engine_benchmark(
         f"-> {sweep_speedup:.2f}x (identical points: {identical})"
     )
 
+    cache_report = _bench_cache(tasks, serial, recorder, say)
     paths_report = _bench_compute_paths(bench, recorder, say)
     floorplan_report = _bench_floorplan(bench, recorder, say, workers, quick)
     simulator_report = _bench_simulator(bench, recorder, say, workers, quick)
@@ -143,6 +148,7 @@ def run_engine_benchmark(
             "identical_points": identical,
             "valid_points": sum(len(r.result.points) for r in serial),
         },
+        "cache": cache_report,
         "compute_paths": paths_report,
         "floorplan": floorplan_report,
         "simulator": simulator_report,
@@ -193,6 +199,56 @@ def run_simulator_benchmark(
     report = _bench_simulator(bench, recorder, say, workers, quick)
     report["cpu_count"] = os.cpu_count()
     return report
+
+
+def _bench_cache(
+    tasks, serial_results, recorder: ProfileRecorder,
+    say: Callable[[str], None],
+) -> Dict:
+    """Cold vs warm store-backed sweep: the result-reuse claim.
+
+    The cold leg recomputes every point while writing the store; the warm
+    leg serves the whole sweep from disk. Both must merge bit-identically
+    to the plain serial baseline.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine.store import ResultStore
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = ResultStore(tmp)
+        with recorder.time("sweep_cold_store", points=len(tasks)):
+            cold = run_tasks(tasks, jobs=1, store=store)
+        with recorder.time("sweep_warm_store", points=len(tasks)):
+            warm = run_tasks(tasks, jobs=1, store=store)
+        stats = store.stats()
+        entries, total_bytes = stats.entries, stats.total_bytes
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    cold_s = recorder.best_s("sweep_cold_store")
+    warm_s = recorder.best_s("sweep_warm_store")
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    identical = (
+        _canonical(cold) == _canonical(warm) == _canonical(serial_results)
+    )
+    warm_hits = sum(1 for r in warm if r.cached)
+    say(
+        f"cache: cold {cold_s:.2f}s, warm {warm_s:.3f}s -> {speedup:.1f}x "
+        f"({warm_hits}/{len(tasks)} hits, {entries} entries, "
+        f"identical merge: {identical})"
+    )
+    return {
+        "grid_points": len(tasks),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 5),
+        "speedup": round(speedup, 3),
+        "warm_hits": warm_hits,
+        "entries": entries,
+        "store_bytes": total_bytes,
+        "identical_results": identical,
+    }
 
 
 def _bench_compute_paths(

@@ -19,7 +19,13 @@ carefully:
   OOM-killed) keeps every completed result and finishes only the missing
   tasks in-process;
 * **progress callbacks** — ``progress(done, total, key)`` fires in the
-  parent as points finish, for CLI spinners and logging.
+  parent as points finish, for CLI spinners and logging;
+* **persistent result reuse** — ``store=`` plugs in a content-addressed
+  :class:`~repro.engine.store.ResultStore`: already-computed tasks are
+  served from disk (``TaskResult.cached``), misses are computed as usual
+  and *checkpointed incrementally* as they complete, so an interrupted
+  campaign resumes from the store with merged results bit-identical to an
+  uninterrupted cold run.
 
 ``jobs`` resolution: ``None`` or ``0`` → ``$REPRO_ENGINE_JOBS`` if set,
 else ``os.cpu_count()``; ``1`` → serial; ``n >= 2`` → pool of ``n``
@@ -29,7 +35,7 @@ workers. Negative values raise :class:`~repro.errors.EngineError`.
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.tasks import SynthesisTask, TaskResult, run_task
 from repro.errors import EngineError
@@ -69,6 +75,7 @@ def run_tasks(
     progress: Optional[ProgressFn] = None,
     chunk_size: int = 1,
     raise_errors: bool = True,
+    store=None,
 ) -> List[TaskResult]:
     """Run every task and return results in submission order.
 
@@ -81,11 +88,20 @@ def run_tasks(
             are so fast that pickling dominates.
         raise_errors: Re-raise the first (in task order) captured error.
             With ``False`` the caller inspects ``TaskResult.error`` itself.
+        store: Optional :class:`~repro.engine.store.ResultStore`. Hits are
+            served from disk without paying a worker; misses run normally
+            and are written to the store *as they complete* (incremental
+            checkpointing), errors and pre-skipped tasks excluded. Merged
+            results are bit-identical with and without a store.
     """
     if chunk_size < 1:
         raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
     tasks = list(tasks)
     workers = resolve_jobs(jobs)
+    if store is not None:
+        return _run_with_store(
+            tasks, store, workers, progress, chunk_size, raise_errors
+        )
     if workers <= 1 or len(tasks) <= 1:
         return _run_serial(tasks, progress, raise_errors)
 
@@ -101,15 +117,24 @@ def run_tasks(
 # internals
 # --------------------------------------------------------------------------
 
+#: Completion hook fired in the parent per finished task (store writes).
+_OnResultFn = Callable[[TaskResult], None]
+
+
 def _run_serial(
     tasks: Sequence[SynthesisTask],
     progress: Optional[ProgressFn],
     raise_errors: bool,
+    on_result: Optional[_OnResultFn] = None,
 ) -> List[TaskResult]:
     results: List[TaskResult] = []
     total = len(tasks)
     for i, task in enumerate(tasks):
         result = run_task(task)
+        # The completion hook runs before a failure is re-raised, so every
+        # point finished *before* the failing one is already checkpointed.
+        if on_result is not None:
+            on_result(result)
         if raise_errors and result.error is not None:
             raise result.error
         results.append(result)
@@ -139,6 +164,7 @@ def _run_parallel(
     workers: int,
     progress: Optional[ProgressFn],
     chunk_size: int,
+    on_result: Optional[_OnResultFn] = None,
 ) -> Optional[List[TaskResult]]:
     """Fan out over a process pool; None signals 'fall back to serial'."""
     try:
@@ -156,6 +182,11 @@ def _run_parallel(
 
     def note(chunk_results: List[TaskResult]) -> None:
         nonlocal done
+        # Checkpoint first: a progress callback may raise (deliberately, to
+        # abort a campaign) and the finished work must already be on disk.
+        if on_result is not None:
+            for result in chunk_results:
+                on_result(result)
         if progress is not None:
             for result in chunk_results:
                 done += 1
@@ -200,3 +231,108 @@ def _raise_first(results: Sequence[TaskResult]) -> None:
     for result in results:
         if result.error is not None:
             raise result.error
+
+
+def _run_with_store(
+    tasks: List[SynthesisTask],
+    store,
+    workers: int,
+    progress: Optional[ProgressFn],
+    chunk_size: int,
+    raise_errors: bool,
+) -> List[TaskResult]:
+    """Serve hits from the store, compute misses, checkpoint incrementally.
+
+    Hits report progress first (in submission order), then misses as they
+    complete; the merged result list is in submission order either way, and
+    bit-identical to a run without a store.
+    """
+    total = len(tasks)
+    slots: List[Optional[TaskResult]] = [None] * total
+    fingerprints: List[Optional[str]] = [None] * total
+    misses: List[Tuple[int, SynthesisTask]] = []
+    for i, task in enumerate(tasks):
+        fp = store.fingerprint(task)
+        fingerprints[i] = fp
+        entry = store.get(fp)
+        if entry is not None:
+            slots[i] = TaskResult(key=task.key, result=entry.payload,
+                                  cached=True)
+        else:
+            misses.append((i, task))
+
+    done = 0
+    for i, cached in enumerate(slots):
+        if cached is not None:
+            done += 1
+            if progress is not None:
+                progress(done, total, tasks[i].key)
+
+    if misses:
+        base_done = done
+
+        def miss_progress(miss_done: int, _miss_total: int, key) -> None:
+            # Miss keys arrive wrapped as (miss_index, original_key) — see
+            # _run_store_misses — and are unwrapped before the user sees them.
+            if progress is not None:
+                progress(base_done + miss_done, total, key[1])
+
+        computed = _run_store_misses(
+            misses, fingerprints, workers,
+            miss_progress if progress else None, chunk_size, raise_errors,
+            store,
+        )
+        for (i, _task), result in zip(misses, computed):
+            slots[i] = result
+
+    results = [r for r in slots if r is not None]
+    if raise_errors:
+        _raise_first(results)
+    return results
+
+
+def _run_store_misses(
+    misses: List[Tuple[int, SynthesisTask]],
+    fingerprints: List[Optional[str]],
+    workers: int,
+    progress: Optional[ProgressFn],
+    chunk_size: int,
+    raise_errors: bool,
+    store,
+) -> List[TaskResult]:
+    """Compute the store misses, writing each result as it completes.
+
+    Caller-chosen ``key``\\ s need not be unique, and parallel chunks
+    complete out of order, so each miss is tracked by temporarily wrapping
+    its key as ``(miss_index, key)``; the wrapper is stripped from results
+    and progress callbacks before anything reaches the caller.
+    """
+    import dataclasses
+
+    indexed = [
+        dataclasses.replace(task, key=(idx, task.key))
+        for idx, (_i, task) in enumerate(misses)
+    ]
+    fp_by_idx = [fingerprints[i] for i, _task in misses]
+    type_by_idx = [type(task).__name__ for _i, task in misses]
+
+    def checkpoint(result: TaskResult) -> None:
+        if result.error is not None or result.skipped:
+            return
+        idx, _original_key = result.key
+        store.put(
+            fp_by_idx[idx], result.result,
+            task_type=type_by_idx[idx], elapsed_s=result.elapsed_s,
+        )
+
+    if workers <= 1 or len(indexed) <= 1:
+        results = _run_serial(indexed, progress, raise_errors, checkpoint)
+    else:
+        results = _run_parallel(
+            indexed, workers, progress, chunk_size, checkpoint
+        )
+        if results is None:
+            results = _run_serial(indexed, progress, raise_errors, checkpoint)
+    for result in results:
+        result.key = result.key[1]
+    return results

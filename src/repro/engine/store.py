@@ -1,0 +1,669 @@
+"""Content-addressed on-disk result store: determinism turned into reuse.
+
+Every engine task (synthesis point, floorplan restart, simulation run) is
+deterministic in its inputs — PRs 1-4 asserted bit-identical results across
+serial and parallel execution. This module makes that determinism pay off
+across *process lifetimes*: results are filed on disk under a stable
+fingerprint of (task type, task payload, code-version salt), so repeated
+CLI invocations, benchmark reruns and interrupted campaigns fetch
+already-computed points instead of recomputing them.
+
+Design:
+
+* **content addressing** — :func:`fingerprint_task` folds the task's value
+  fields (specs, configs, topologies, scenario objects) into a SHA-256
+  digest through a canonical type-tagged encoding; caller-chosen labels
+  (``key``) and run-local handles (``context_token``) are excluded, so two
+  campaigns asking for the same computation share entries regardless of how
+  they label their points;
+* **code-version salt** — the digest includes :data:`CODE_SALT` (overridable
+  per store and via ``$REPRO_STORE_SALT``); bump it when a change makes old
+  results stale, and every entry silently becomes a miss;
+* **atomic writes** — entries are pickled to a temp file in the store
+  directory and ``os.replace``'d into place, so a killed campaign never
+  leaves a half-written entry under a valid name;
+* **corruption-tolerant reads** — a truncated, unreadable or mismatched
+  entry is treated as a miss (and counted), never an error;
+  ``python -m repro.cli cache verify`` audits and optionally repairs;
+* **bounded size** — an optional ``max_bytes`` budget evicts the
+  least-recently-used entries (hits refresh an entry's mtime) after each
+  write.
+
+The executor integration lives in :func:`repro.engine.executor.run_tasks`
+(``store=``): hits short-circuit the worker pool, misses are computed and
+checkpointed incrementally as they complete, so a killed-then-resumed sweep
+finishes from the store with merged results bit-identical to a cold run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import StoreError
+
+#: Bump when a code change invalidates previously stored results (routing,
+#: floorplanning, simulation semantics). Overridable per store and via the
+#: ``REPRO_STORE_SALT`` environment variable.
+CODE_SALT = "repro-store-v1"
+
+#: On-disk record format version; a mismatching record reads as a miss.
+STORE_FORMAT = 1
+
+#: Default store location for CLI/library callers that do not choose one;
+#: ``$REPRO_CACHE_DIR`` overrides.
+DEFAULT_STORE_DIR = ".repro-cache"
+
+_ENTRY_SUFFIX = ".pkl"
+
+#: Task fields that must not shape the fingerprint: ``key`` is a
+#: caller-chosen merge label, ``context_token`` a run-local cache handle,
+#: ``skip_reason`` a human note attached to pre-skipped tasks.
+_NON_CONTENT_FIELDS = frozenset({"key", "context_token", "skip_reason"})
+
+
+def default_store_dir() -> str:
+    """The store directory used when the caller does not pick one."""
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_STORE_DIR)
+
+
+def resolve_salt(salt: Optional[str] = None) -> str:
+    """An explicit salt, else ``$REPRO_STORE_SALT``, else :data:`CODE_SALT`."""
+    if salt is not None:
+        return salt
+    return os.environ.get("REPRO_STORE_SALT", CODE_SALT)
+
+
+# --------------------------------------------------------------------------
+# canonical fingerprinting
+# --------------------------------------------------------------------------
+
+def _feed(h, obj: Any) -> None:
+    """Fold ``obj`` into digest ``h`` via a canonical type-tagged encoding.
+
+    Every value is emitted as a type tag plus a length-prefixed payload, so
+    distinct structures can never collide by concatenation (``("ab", "c")``
+    vs ``("a", "bc")``). Dicts and sets are encoded in sorted-key order when
+    their keys are orderable (falling back to insertion order), so logically
+    equal containers built in different orders still fingerprint equal.
+    """
+    if obj is None:
+        h.update(b"N;")
+    elif obj is True:
+        h.update(b"T;")
+    elif obj is False:
+        h.update(b"F;")
+    elif isinstance(obj, enum.Enum):
+        # Before the int branch: an IntEnum member must not fingerprint
+        # as its plain integer value — same digest, different semantics.
+        _feed_tagged(h, b"E", _type_tag(obj), obj.name)
+    elif isinstance(obj, int):
+        data = str(obj).encode()
+        h.update(b"i%d:" % len(data) + data)
+    elif isinstance(obj, float):
+        data = repr(obj).encode()  # shortest round-trip repr: stable
+        h.update(b"f%d:" % len(data) + data)
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        h.update(b"s%d:" % len(data) + data)
+    elif isinstance(obj, bytes):
+        h.update(b"b%d:" % len(obj) + obj)
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"(%d:" % len(obj))
+        for item in obj:
+            _feed(h, item)
+        h.update(b")")
+    elif isinstance(obj, dict):
+        h.update(b"{%d:" % len(obj))
+        for key, value in _ordered(obj.items()):
+            _feed(h, key)
+            _feed(h, value)
+        h.update(b"}")
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"<%d:" % len(obj))
+        for item in _ordered_values(obj):
+            _feed(h, item)
+        h.update(b">")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"D")
+        _feed(h, _type_tag(obj))
+        # A dataclass may declare results-invariant fields (parallelism
+        # knobs etc.) in ``__fingerprint_exclude__``; they must not split
+        # the cache for computations that are bit-identical regardless.
+        exclude = getattr(type(obj), "__fingerprint_exclude__", ())
+        for f in dataclasses.fields(obj):
+            if f.name in exclude:
+                continue
+            _feed(h, f.name)
+            _feed(h, getattr(obj, f.name))
+        h.update(b";")
+    elif _is_ndarray(obj):
+        h.update(b"A")
+        _feed(h, str(obj.dtype))
+        _feed(h, tuple(obj.shape))
+        data = obj.tobytes()
+        h.update(b"%d:" % len(data) + data)
+    elif hasattr(obj, "__dict__") and not callable(obj):
+        # Plain value object (e.g. a stateless Stage instance): class
+        # identity plus its instance attributes, sorted by name.
+        h.update(b"O")
+        _feed(h, _type_tag(obj))
+        for name in sorted(vars(obj)):
+            _feed(h, name)
+            _feed(h, vars(obj)[name])
+        h.update(b";")
+    else:
+        text = repr(obj)
+        if " at 0x" in text:
+            raise StoreError(
+                f"cannot fingerprint {type(obj).__qualname__} instances "
+                "(no stable representation)"
+            )
+        _feed_tagged(h, b"r", _type_tag(obj), text)
+
+
+def _type_tag(obj: Any) -> str:
+    """Module-qualified class identity: same-named value classes from
+    different modules must never share a fingerprint."""
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _feed_tagged(h, tag: bytes, *parts: str) -> None:
+    h.update(tag)
+    for part in parts:
+        data = part.encode("utf-8")
+        h.update(b"%d:" % len(data) + data)
+    h.update(b";")
+
+
+def _is_ndarray(obj: Any) -> bool:
+    cls = type(obj)
+    return cls.__module__ == "numpy" and cls.__name__ == "ndarray"
+
+
+def _ordered(items):
+    try:
+        return sorted(items)
+    except TypeError:
+        return list(items)
+
+
+def _ordered_values(values):
+    try:
+        return sorted(values)
+    except TypeError:
+        # Unorderable set members: order by their own encoding for a
+        # construction-order-independent digest.
+        def enc(value):
+            h = hashlib.sha256()
+            _feed(h, value)
+            return h.digest()
+
+        return sorted(values, key=enc)
+
+
+def fingerprint_task(task: Any, *, salt: Optional[str] = None) -> str:
+    """The content address of one engine task.
+
+    Folds the task's type name, its value fields (minus caller labels and
+    run-local handles) and the code-version ``salt`` into a SHA-256 hex
+    digest. Raises :class:`~repro.errors.StoreError` when a field has no
+    stable representation.
+    """
+    if not dataclasses.is_dataclass(task) or isinstance(task, type):
+        raise StoreError(
+            f"tasks must be dataclass instances, got {type(task).__qualname__}"
+        )
+    h = hashlib.sha256()
+    _feed(h, resolve_salt(salt))
+    _feed(h, type(task).__qualname__)
+    exclude = _NON_CONTENT_FIELDS.union(
+        getattr(type(task), "__fingerprint_exclude__", ())
+    )
+    for f in dataclasses.fields(task):
+        if f.name in exclude:
+            continue
+        _feed(h, f.name)
+        _feed(h, getattr(task, f.name))
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------
+# the store
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One cached result, as returned by :meth:`ResultStore.get`."""
+
+    fingerprint: str
+    task_type: str
+    payload: Any
+    elapsed_s: float
+    created_s: float
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Disk-level totals plus this instance's session counters."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    by_task_type: Dict[str, int] = dataclasses.field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    corrupt_dropped: int = 0
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Outcome of a full-store audit (see :meth:`ResultStore.verify`)."""
+
+    checked: int = 0
+    ok: int = 0
+    bad: List[Tuple[str, str]] = dataclasses.field(default_factory=list)
+    removed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.bad
+
+
+class ResultStore:
+    """A content-addressed, size-bounded, corruption-tolerant result cache.
+
+    Args:
+        root: Store directory; created (with parents) if missing. An
+            unwritable or invalid location raises
+            :class:`~repro.errors.StoreError` immediately, with a clear
+            message, rather than a traceback at first write.
+        salt: Code-version salt folded into every fingerprint (default:
+            ``$REPRO_STORE_SALT`` or :data:`CODE_SALT`).
+        max_bytes: Optional size budget; after each write the
+            least-recently-used entries are evicted until under budget.
+        readonly: Open for inspection only (``cache stats`` / ``verify``):
+            no directory creation, no write probe — a store on a read-only
+            mount can still be audited, and asking for stats of a missing
+            store does not create one as a side effect.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        salt: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+        readonly: bool = False,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise StoreError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = Path(root)
+        self.salt = resolve_salt(salt)
+        self.max_bytes = max_bytes
+        self.readonly = readonly
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_dropped = 0
+        self._objects = self.root / "objects"
+        #: Running on-disk byte total, seeded by one scan on first need so
+        #: budgeted puts stay O(1) instead of re-walking the store each
+        #: time; None = unknown (rescanned lazily).
+        self._approx_bytes: Optional[int] = None
+        self._prepare_root()
+
+    # -- directory plumbing -------------------------------------------------
+
+    def _prepare_root(self) -> None:
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(
+                f"cache directory {self.root} exists and is not a directory"
+            )
+        if self.readonly:
+            return
+        try:
+            self._objects.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot create cache directory {self.root}: {exc}"
+            ) from None
+        # Probe writability now: a read-only store should fail loudly at
+        # open time, not with a traceback mid-campaign.
+        try:
+            fd, probe = tempfile.mkstemp(prefix=".probe-", dir=self._objects)
+            os.close(fd)
+            os.unlink(probe)
+        except OSError as exc:
+            raise StoreError(
+                f"cache directory {self.root} is not writable: {exc}"
+            ) from None
+
+    def _path(self, fingerprint: str) -> Path:
+        return (
+            self._objects / fingerprint[:2]
+            / (fingerprint[2:] + _ENTRY_SUFFIX)
+        )
+
+    def _entry_paths(self) -> List[Path]:
+        if not self._objects.is_dir():
+            return []
+        # pathlib's glob matches dotfiles, so in-flight ".tmp-*" writes
+        # (and any orphaned ones from a killed process) must be filtered:
+        # they are not entries, and evict/verify must never touch a temp
+        # file a concurrent writer is about to os.replace into place.
+        return sorted(
+            path
+            for path in self._objects.glob("??/*" + _ENTRY_SUFFIX)
+            if not path.name.startswith(".")
+        )
+
+    # -- fingerprints -------------------------------------------------------
+
+    def fingerprint(self, task: Any) -> Optional[str]:
+        """The task's content address, or ``None`` when uncacheable.
+
+        Pre-skipped tasks (``skip=True``) short-circuit to an empty result
+        more cheaply than a disk read, and tasks whose payload has no
+        stable representation simply run uncached — never an error.
+        """
+        if getattr(task, "skip", False):
+            return None
+        try:
+            return fingerprint_task(task, salt=self.salt)
+        except StoreError:
+            return None
+
+    # -- entry IO -----------------------------------------------------------
+
+    def get(self, fingerprint: Optional[str]) -> Optional[StoreEntry]:
+        """Fetch one entry; ``None`` on miss *or* unreadable entry."""
+        if fingerprint is None:
+            return None
+        path = self._path(fingerprint)
+        try:
+            fh = open(path, "rb")
+        except OSError:
+            # Not found, or a *transient* open failure (EMFILE mid-campaign,
+            # a flaky network mount): a plain miss. The entry — if any —
+            # stays on disk; only proven-bad content is ever dropped.
+            self.misses += 1
+            return None
+        try:
+            with fh:
+                header = pickle.load(fh)
+                if not self._header_ok(header, fingerprint):
+                    raise ValueError("stale or mismatched record")
+                payload = pickle.load(fh)
+        except OSError:
+            self.misses += 1  # read-side transient failure: keep the entry
+            return None
+        except Exception:
+            # Truncated write, foreign file, unpicklable class, stale
+            # format/salt: a miss; drop the entry so it is not re-read.
+            self.misses += 1
+            self.corrupt_dropped += 1
+            self._approx_bytes = None
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU recency for the eviction policy
+        except OSError:
+            pass
+        return StoreEntry(
+            fingerprint=fingerprint,
+            task_type=str(header.get("task_type", "")),
+            payload=payload,
+            elapsed_s=float(header.get("elapsed_s", 0.0)),
+            created_s=float(header.get("created_s", 0.0)),
+        )
+
+    def _header_ok(self, header: Any, fingerprint: str) -> bool:
+        return (
+            isinstance(header, dict)
+            and header.get("format") == STORE_FORMAT
+            and header.get("fingerprint") == fingerprint
+            and header.get("salt") == self.salt
+        )
+
+    def put(
+        self,
+        fingerprint: Optional[str],
+        payload: Any,
+        *,
+        task_type: str = "",
+        elapsed_s: float = 0.0,
+    ) -> bool:
+        """Write one entry atomically; returns whether anything was stored.
+
+        The record — a small metadata header frame followed by the payload
+        frame, so ``stats``/``verify`` can read metadata without
+        deserialising payloads — is pickled to a temp file in the entry's
+        directory and renamed into place, so concurrent writers and killed
+        processes can never expose a partial entry under a valid name.
+        Unpicklable payloads are skipped (the campaign still completes —
+        it just cannot resume through this point).
+        """
+        if fingerprint is None:
+            return False
+        header = {
+            "format": STORE_FORMAT,
+            "fingerprint": fingerprint,
+            "salt": self.salt,
+            "task_type": task_type,
+            "elapsed_s": float(elapsed_s),
+            "created_s": time.time(),
+        }
+        path = self._path(fingerprint)
+        try:
+            old_size = path.stat().st_size
+        except OSError:
+            old_size = 0
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=_ENTRY_SUFFIX, dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(header, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                new_size = os.path.getsize(tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # Unpicklable payloads surface as TypeError/AttributeError (not
+            # just PicklingError), and any disk failure must degrade to
+            # "not cached", never abort the campaign mid-checkpoint.
+            return False
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._scan_bytes()
+            else:
+                self._approx_bytes += new_size - old_size
+            if self._approx_bytes > self.max_bytes:
+                self.evict(protect=path)
+        return True
+
+    def contains(self, fingerprint: Optional[str]) -> bool:
+        return fingerprint is not None and self._path(fingerprint).exists()
+
+    # -- maintenance --------------------------------------------------------
+
+    def _scan_bytes(self) -> int:
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def evict(
+        self, max_bytes: Optional[int] = None, *,
+        protect: Optional[Path] = None,
+    ) -> int:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        Returns the number of entries removed; ``protect`` names an entry
+        that must survive (``put`` passes the path it just wrote). With no
+        budget configured (and none passed) this is a no-op. The full
+        directory walk happens only here — budgeted ``put``\\ s track a
+        running total and call this just when it crosses the budget.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        if budget is None:
+            return 0
+        entries = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, str(path), st.st_size, path))
+            total += st.st_size
+        removed = 0
+        # Oldest first. The entry the caller just wrote (or, absent that,
+        # whatever sorts newest) is never a candidate: when a single fresh
+        # result alone exceeds the budget, evicting everything else cannot
+        # help, and on coarse-mtime filesystems the just-checkpointed
+        # entry could otherwise lose an mtime tie and be evicted by its
+        # own put.
+        ordered = sorted(entries)
+        if protect is not None:
+            candidates = [e for e in ordered if e[3] != protect]
+        else:
+            candidates = ordered[:-1]
+        for _mtime, _name, size, path in candidates:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._approx_bytes = total
+        return removed
+
+    def stats(self) -> StoreStats:
+        """Disk totals (entries, bytes, per-task-type) + session counters."""
+        stats = StoreStats(
+            root=str(self.root),
+            hits=self.hits,
+            misses=self.misses,
+            corrupt_dropped=self.corrupt_dropped,
+        )
+        for path in self._entry_paths():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            stats.entries += 1
+            stats.total_bytes += size
+            task_type = _peek_task_type(path)
+            stats.by_task_type[task_type] = (
+                stats.by_task_type.get(task_type, 0) + 1
+            )
+        return stats
+
+    def verify(self, *, repair: bool = False) -> VerifyReport:
+        """Audit every entry: header readable and matching (format, salt,
+        name vs content), payload deserialisable. ``repair=True`` deletes
+        the entries that fail."""
+        report = VerifyReport()
+        for path in self._entry_paths():
+            report.checked += 1
+            fingerprint = path.parent.name + path.name[: -len(_ENTRY_SUFFIX)]
+            reason = None
+            try:
+                with open(path, "rb") as fh:
+                    header = pickle.load(fh)
+                    if not self._header_ok(header, fingerprint):
+                        reason = "stale or mismatched record"
+                    else:
+                        pickle.load(fh)  # payload must deserialise too
+            except Exception as exc:
+                reason = f"unreadable ({type(exc).__name__})"
+            if reason is None:
+                report.ok += 1
+                continue
+            report.bad.append((str(path), reason))
+            if repair:
+                try:
+                    path.unlink()
+                    report.removed += 1
+                    self._approx_bytes = None
+                except OSError:
+                    pass
+        return report
+
+    def clear(self) -> Tuple[int, int]:
+        """Delete every entry (and any orphaned temp file left by a killed
+        writer); returns ``(removed, failed)`` so callers can tell a clean
+        sweep from unlinks an unwritable store silently refused."""
+        removed = 0
+        failed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                failed += 1
+        for pattern in ("??/.tmp-*", ".probe-*"):
+            for path in self._objects.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self._approx_bytes = None
+        return removed, failed
+
+
+def _peek_task_type(path: Path) -> str:
+    """The entry's task type from its header frame — payloads stay cold."""
+    try:
+        with open(path, "rb") as fh:
+            header = pickle.load(fh)
+        if isinstance(header, dict):
+            return str(header.get("task_type", "?")) or "?"
+    except Exception:
+        pass
+    return "?"
+
+
+def open_store(
+    cache_dir: Optional[Union[str, Path]] = None,
+    *,
+    salt: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    readonly: bool = False,
+) -> ResultStore:
+    """Open (creating if needed, unless ``readonly``) the store at
+    ``cache_dir``.
+
+    ``None`` falls back to ``$REPRO_CACHE_DIR`` or
+    :data:`DEFAULT_STORE_DIR`. Raises :class:`~repro.errors.StoreError`
+    with a clear message for unwritable/invalid locations.
+    """
+    return ResultStore(
+        cache_dir if cache_dir is not None else default_store_dir(),
+        salt=salt, max_bytes=max_bytes, readonly=readonly,
+    )

@@ -178,6 +178,11 @@ class TaskResult:
     the executor can re-raise them *deterministically* (first failing task
     in submission order, exactly like a serial loop) instead of in
     completion order.
+
+    ``cached=True`` marks a result served from a
+    :class:`~repro.engine.store.ResultStore` instead of computed; the
+    payload is bit-identical to a fresh computation, only ``elapsed_s``
+    (the fetch cost, effectively zero) differs.
     """
 
     key: Hashable
@@ -185,6 +190,7 @@ class TaskResult:
     error: Optional[BaseException] = None
     elapsed_s: float = 0.0
     skipped: bool = False
+    cached: bool = False
 
     @property
     def ok(self) -> bool:

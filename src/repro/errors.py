@@ -43,3 +43,8 @@ class FloorplanError(ReproError):
 
 class EngineError(ReproError):
     """The parallel sweep engine was misconfigured or a worker failed."""
+
+
+class StoreError(EngineError):
+    """The on-disk result store is unusable (unwritable/invalid location)
+    or a value has no stable fingerprint."""

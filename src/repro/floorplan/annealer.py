@@ -69,6 +69,7 @@ def anneal_floorplan(
     initial_sp: Optional[SequencePair] = None,
     restarts: int = 1,
     jobs: Optional[int] = 1,
+    store=None,
 ) -> FloorplanResult:
     """Floorplan ``n`` blocks minimising area + weighted wirelength.
 
@@ -93,6 +94,10 @@ def anneal_floorplan(
         jobs: Worker processes for the restarts — ``1`` (default) serial,
             ``None``/``0`` one per CPU, ``n >= 2`` a pool of n. Results are
             identical regardless of ``jobs``.
+        store: Optional :class:`~repro.engine.store.ResultStore` serving
+            already-annealed restarts from disk and checkpointing fresh
+            ones (multi-start runs only — a single-start anneal stays on
+            the zero-overhead direct path).
 
     Returns:
         The best found :class:`FloorplanResult` (not merely the final one).
@@ -141,7 +146,7 @@ def anneal_floorplan(
         )
         for restart in range(restarts)
     ]
-    results = run_tasks(tasks, jobs=jobs)
+    results = run_tasks(tasks, jobs=jobs, store=store)
     best: Optional[FloorplanResult] = None
     total_evaluated = 0
     for task_result in results:

@@ -52,6 +52,7 @@ def constrained_insert(
     cooling: float = 0.995,
     restarts: int = 1,
     jobs: Optional[int] = 1,
+    store=None,
 ) -> List[PlacedComponent]:
     """Insert network components with the constrained-annealer baseline.
 
@@ -59,6 +60,8 @@ def constrained_insert(
     ``restarts``/``jobs`` run K independently seeded anneals (best cost
     wins, ties to the lowest restart) optionally fanned across the
     :mod:`repro.engine` pool — serial and parallel runs are identical.
+    ``store`` plugs a :class:`~repro.engine.store.ResultStore` into that
+    fan-out so finished restarts are reused across invocations.
     """
     layers = {c.layer for c in existing}
     if len(layers) > 1:
@@ -100,7 +103,7 @@ def constrained_insert(
             )
             for restart in range(restarts)
         ]
-        results = run_tasks(tasks, jobs=jobs)
+        results = run_tasks(tasks, jobs=jobs, store=store)
         best_cost = None
         best_sp = None
         for task_result in results:

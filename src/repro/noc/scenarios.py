@@ -103,13 +103,25 @@ def _bernoulli_schedule(probs: Sequence[float], cycles: int, rng) -> Schedule:
             continue
         # log1p keeps the denominator non-zero even when p is so small
         # that 1.0 - p rounds to 1.0 (log(1.0 - p) would underflow to 0).
-        inv = 1.0 / math.log1p(-p)
-        # Failures before the first success are geometric on {0, 1, ...};
-        # 1 - rand() lies in (0, 1], keeping log() finite.
-        c = int(log(1.0 - rand()) * inv)
+        inv = 1.0 / math.log1p(-p)  # ~ -1/p for small p
+        if not math.isfinite(inv):
+            # p below ~1e-308 (denormal): the reciprocal overflows and the
+            # expected inter-arrival gap exceeds any representable horizon.
+            continue
+
+        def gap() -> int:
+            # Failures before the first success are geometric on {0, 1,
+            # ...}; 1 - rand() lies in (0, 1], keeping log() finite. For
+            # tiny (but normal) p the product can still overflow to inf —
+            # or hit 0 * inf = nan — so anything not provably inside the
+            # horizon clamps to `cycles`: "no arrival on this schedule".
+            g = log(1.0 - rand()) * inv
+            return int(g) if g < cycles else cycles
+
+        c = gap()
         while c < cycles:
             sched[c].append(fi)
-            c += 1 + int(log(1.0 - rand()) * inv)
+            c += 1 + gap()
     return sched
 
 

@@ -1,0 +1,496 @@
+"""Content-addressed result store (repro.engine.store) + executor reuse.
+
+Covers the store's own contracts (fingerprint stability, atomic entry IO,
+corruption tolerance, eviction, verify/clear) and the executor integration:
+warm-cache campaign results must be *bit-identical* to cold runs across
+serial and parallel execution, and a killed-then-resumed campaign must
+complete from the store with the same merged output as an uninterrupted
+cold run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.frequency_sweep import sweep_frequencies
+from repro.engine import ResultStore, fingerprint_task, run_tasks
+from repro.engine.store import open_store
+from repro.engine.tasks import SimulationTask, SynthesisTask
+from repro.errors import StoreError
+
+from _simtopo import contended_topology
+
+FREQS = (400.0, 500.0, 600.0)
+CONFIG = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+
+
+def _sim_tasks(n=4, cycles=300, **overrides):
+    """Cheap deterministic engine tasks: tiny wormhole simulations."""
+    topo = contended_topology()
+    return [
+        SimulationTask(
+            key=("sim", seed), topology=topo, seed=seed, cycles=cycles,
+            warmup=0, **overrides,
+        )
+        for seed in range(n)
+    ]
+
+
+def _payload_bytes(results):
+    return [pickle.dumps(r.result) for r in results]
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        a, b = _sim_tasks(1)[0], _sim_tasks(1)[0]
+        assert fingerprint_task(a) == fingerprint_task(b)
+
+    def test_key_and_label_fields_excluded(self):
+        task = _sim_tasks(1)[0]
+        import dataclasses
+
+        relabeled = dataclasses.replace(task, key="something-else")
+        assert fingerprint_task(task) == fingerprint_task(relabeled)
+
+    def test_payload_fields_included(self):
+        base, other = _sim_tasks(2)
+        assert fingerprint_task(base) != fingerprint_task(other)
+
+    def test_salt_changes_digest(self):
+        task = _sim_tasks(1)[0]
+        assert fingerprint_task(task, salt="a") != fingerprint_task(
+            task, salt="b"
+        )
+
+    def test_synthesis_task_config_distinguishes(self, tiny_specs):
+        core_spec, comm_spec = tiny_specs
+        t1 = SynthesisTask(key=0, core_spec=core_spec, comm_spec=comm_spec,
+                           config=CONFIG)
+        t2 = SynthesisTask(key=0, core_spec=core_spec, comm_spec=comm_spec,
+                           config=CONFIG.with_(frequency_mhz=500.0))
+        assert fingerprint_task(t1) != fingerprint_task(t2)
+
+    def test_results_invariant_knobs_excluded(self, tiny_specs):
+        """floorplan_jobs only changes *how* the result is computed, never
+        the result — runs differing only in it must share cache entries."""
+        core_spec, comm_spec = tiny_specs
+        base = CONFIG.with_(floorplanner="constrained", floorplan_restarts=2)
+        t1 = SynthesisTask(key=0, core_spec=core_spec, comm_spec=comm_spec,
+                           config=base.with_(floorplan_jobs=1))
+        t2 = SynthesisTask(key=0, core_spec=core_spec, comm_spec=comm_spec,
+                           config=base.with_(floorplan_jobs=4))
+        assert fingerprint_task(t1) == fingerprint_task(t2)
+        t3 = SynthesisTask(key=0, core_spec=core_spec, comm_spec=comm_spec,
+                           config=base.with_(floorplan_restarts=3))
+        assert fingerprint_task(t1) != fingerprint_task(t3)
+
+    def test_int_enum_distinct_from_plain_int(self):
+        import enum
+        import hashlib
+
+        from repro.engine.store import _feed
+
+        class Level(enum.IntEnum):
+            ONE = 1
+
+        def digest(value):
+            h = hashlib.sha256()
+            _feed(h, value)
+            return h.hexdigest()
+
+        assert digest(Level.ONE) != digest(1)
+        assert digest(Level.ONE) == digest(Level.ONE)
+
+    def test_same_named_classes_different_modules_distinct(self):
+        import dataclasses
+        import hashlib
+
+        from repro.engine.store import _feed
+
+        a_cls = dataclasses.make_dataclass("Thing", [("x", int)])
+        b_cls = dataclasses.make_dataclass("Thing", [("x", int)])
+        a_cls.__module__ = "pkg_a"
+        b_cls.__module__ = "pkg_b"
+
+        def digest(value):
+            h = hashlib.sha256()
+            _feed(h, value)
+            return h.hexdigest()
+
+        assert digest(a_cls(x=1)) != digest(b_cls(x=1))
+
+    def test_unfingerprintable_payload_raises(self):
+        task = SimulationTask(key=0, topology=object())
+        with pytest.raises(StoreError):
+            fingerprint_task(task)
+
+    def test_store_fingerprint_degrades_to_uncacheable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.fingerprint(SimulationTask(key=0, topology=object())) is None
+
+    def test_skip_tasks_uncacheable(self, tiny_specs, tmp_path):
+        core_spec, comm_spec = tiny_specs
+        task = SynthesisTask(key=0, core_spec=core_spec, comm_spec=comm_spec,
+                             config=CONFIG, skip=True, skip_reason="infeasible")
+        assert ResultStore(tmp_path).fingerprint(task) is None
+
+
+class TestStoreIO:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        task = _sim_tasks(1)[0]
+        fp = store.fingerprint(task)
+        assert store.get(fp) is None
+        assert store.put(fp, {"x": 1}, task_type="SimulationTask",
+                         elapsed_s=0.25)
+        entry = store.get(fp)
+        assert entry.payload == {"x": 1}
+        assert entry.task_type == "SimulationTask"
+        assert entry.elapsed_s == 0.25
+        assert store.hits == 1 and store.misses == 1
+
+    def test_reopened_store_serves_entries(self, tmp_path):
+        fp = ResultStore(tmp_path).fingerprint(_sim_tasks(1)[0])
+        ResultStore(tmp_path).put(fp, [1, 2, 3])
+        assert ResultStore(tmp_path).get(fp).payload == [1, 2, 3]
+
+    def test_different_salt_misses(self, tmp_path):
+        task = _sim_tasks(1)[0]
+        store_a = ResultStore(tmp_path, salt="a")
+        store_a.put(store_a.fingerprint(task), "A")
+        store_b = ResultStore(tmp_path, salt="b")
+        # Different salt -> different address entirely.
+        assert store_b.get(store_b.fingerprint(task)) is None
+
+    def test_corrupt_entry_is_a_miss_and_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint(_sim_tasks(1)[0])
+        store.put(fp, "payload")
+        path = store._path(fp)
+        path.write_bytes(path.read_bytes()[:10])  # truncate mid-record
+        assert store.get(fp) is None
+        assert store.corrupt_dropped == 1
+        assert not path.exists()
+
+    def test_foreign_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint(_sim_tasks(1)[0])
+        path = store._path(fp)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "a store record"}))
+        assert store.get(fp) is None
+
+    def test_verify_and_repair(self, tmp_path):
+        store = ResultStore(tmp_path)
+        tasks = _sim_tasks(3)
+        fps = [store.fingerprint(t) for t in tasks]
+        for fp in fps:
+            store.put(fp, "ok")
+        store._path(fps[0]).write_bytes(b"garbage")
+        report = store.verify()
+        assert (report.checked, report.ok, len(report.bad)) == (3, 2, 1)
+        assert not report.clean
+        repaired = store.verify(repair=True)
+        assert repaired.removed == 1
+        assert store.verify().clean
+        assert store.stats().entries == 2
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for task in _sim_tasks(3):
+            store.put(store.fingerprint(task), "x")
+        assert store.clear() == (3, 0)
+        assert store.stats().entries == 0
+
+    def test_unpicklable_payload_degrades_to_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint(_sim_tasks(1)[0])
+        with open(tmp_path / "scratch", "w") as handle:
+            assert store.put(fp, {"handle": handle}) is False
+        assert store.get(fp) is None
+        assert store.stats().entries == 0
+
+    def test_inflight_temp_files_are_not_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint(_sim_tasks(1)[0])
+        store.put(fp, "real")
+        orphan = store._path(fp).parent / ".tmp-orphan.pkl"
+        orphan.write_bytes(b"half-written")
+        # Invisible to stats/verify/evict — never reported, never touched.
+        assert store.stats().entries == 1
+        assert store.verify().clean
+        assert store.evict(max_bytes=10**9) == 0
+        assert orphan.exists()
+        # clear() sweeps orphans along with the entries.
+        assert store.clear() == (1, 0)
+        assert not orphan.exists()
+
+    def test_eviction_drops_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        store = ResultStore(tmp_path)
+        fps = [store.fingerprint(t) for t in _sim_tasks(4)]
+        for i, fp in enumerate(fps):
+            store.put(fp, "v" * 100)
+            # Strictly increasing mtimes without sleeping.
+            os.utime(store._path(fp), (i, i))
+        sizes = sum(store._path(fp).stat().st_size for fp in fps)
+        per_entry = sizes // 4
+        removed = store.evict(max_bytes=2 * per_entry + 10)
+        assert removed == 2
+        assert store.get(fps[0]) is None and store.get(fps[1]) is None
+        assert store.get(fps[2]) is not None and store.get(fps[3]) is not None
+
+    def test_max_bytes_enforced_on_put(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=1)
+        fps = [store.fingerprint(t) for t in _sim_tasks(2)]
+        store.put(fps[0], "a")
+        store.put(fps[1], "b")
+        # A 1-byte budget keeps exactly the just-written entry — even when
+        # both writes land in the same coarse-mtime tick, the put's own
+        # entry is explicitly protected from its eviction pass.
+        assert store.stats().entries == 1
+        assert store.get(fps[1]) is not None
+
+    def test_oversized_entry_never_wipes_the_store(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        fps = [store.fingerprint(t) for t in _sim_tasks(3)]
+        for i, fp in enumerate(fps[:2]):
+            store.put(fp, "small")
+            os.utime(store._path(fp), (i, i))
+        store.put(fps[2], "x" * 4096)  # newest, alone above the budget
+        removed = store.evict(max_bytes=1024)
+        # The two older entries go; the newest survives even though the
+        # store remains over budget — never an empty store.
+        assert removed == 2
+        assert store.get(fps[2]) is not None
+
+    def test_transient_open_failure_keeps_the_entry(
+        self, tmp_path, monkeypatch
+    ):
+        import builtins
+
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint(_sim_tasks(1)[0])
+        store.put(fp, "precious")
+        path = store._path(fp)
+        real_open = builtins.open
+
+        def flaky_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                raise OSError(24, "Too many open files")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", flaky_open)
+        assert store.get(fp) is None  # a miss...
+        monkeypatch.undo()
+        assert store.corrupt_dropped == 0
+        assert store.get(fp).payload == "precious"  # ...not a deletion
+
+    def test_readonly_open_never_creates_or_probes(self, tmp_path):
+        missing = tmp_path / "never-created"
+        store = ResultStore(missing, readonly=True)
+        assert store.stats().entries == 0
+        assert store.verify().checked == 0
+        assert not missing.exists()
+
+    def test_invalid_root_raises_clear_error(self, tmp_path):
+        as_file = tmp_path / "plain-file"
+        as_file.write_text("not a directory")
+        with pytest.raises(StoreError, match="not a directory"):
+            ResultStore(as_file)
+        with pytest.raises(StoreError, match="cannot create"):
+            ResultStore(as_file / "sub")
+
+    def test_open_store_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envstore"))
+        store = open_store()
+        assert store.root == tmp_path / "envstore"
+        assert store.root.is_dir()
+
+
+class TestExecutorIntegration:
+    def test_warm_run_is_bit_identical_serial_and_parallel(self, tmp_path):
+        tasks = _sim_tasks(4)
+        baseline = run_tasks(tasks, jobs=1)
+        store = ResultStore(tmp_path)
+        cold = run_tasks(tasks, jobs=1, store=store)
+        warm_serial = run_tasks(tasks, jobs=1, store=store)
+        warm_parallel = run_tasks(tasks, jobs=2, store=store)
+        assert _payload_bytes(baseline) == _payload_bytes(cold)
+        assert _payload_bytes(cold) == _payload_bytes(warm_serial)
+        assert _payload_bytes(cold) == _payload_bytes(warm_parallel)
+        assert [r.cached for r in cold] == [False] * 4
+        assert [r.cached for r in warm_serial] == [True] * 4
+        assert [r.key for r in warm_parallel] == [t.key for t in tasks]
+
+    def test_parallel_cold_run_populates_store(self, tmp_path):
+        tasks = _sim_tasks(4)
+        store = ResultStore(tmp_path)
+        cold = run_tasks(tasks, jobs=2, store=store)
+        assert store.stats().entries == 4
+        warm = run_tasks(tasks, jobs=1, store=store)
+        assert _payload_bytes(cold) == _payload_bytes(warm)
+        assert all(r.cached for r in warm)
+
+    def test_duplicate_keys_map_to_their_own_entries(self, tmp_path):
+        a, b = _sim_tasks(2)
+        import dataclasses
+
+        b = dataclasses.replace(b, key=a.key)  # same label, different content
+        store = ResultStore(tmp_path)
+        cold = run_tasks([a, b], jobs=1, store=store)
+        warm = run_tasks([a, b], jobs=1, store=store)
+        assert all(r.cached for r in warm)
+        assert _payload_bytes(cold) == _payload_bytes(warm)
+        # Distinct content => distinct results survived the same label.
+        assert pickle.dumps(warm[0].result) != pickle.dumps(warm[1].result)
+
+    def test_progress_counts_hits_and_misses_once_each(self, tmp_path):
+        tasks = _sim_tasks(4)
+        store = ResultStore(tmp_path)
+        run_tasks(tasks[:2], jobs=1, store=store)
+        seen = []
+        run_tasks(
+            tasks, jobs=1, store=store,
+            progress=lambda done, total, key: seen.append((done, total, key)),
+        )
+        assert [s[0] for s in seen] == [1, 2, 3, 4]
+        assert all(s[1] == 4 for s in seen)
+        assert sorted(s[2] for s in seen) == sorted(t.key for t in tasks)
+
+    def test_errors_are_not_cached(self, tmp_path):
+        bad = SimulationTask(key="bad", topology=contended_topology(),
+                             cycles=100, warmup=0, scenario="no-such-scenario")
+        store = ResultStore(tmp_path)
+        results = run_tasks([bad], jobs=1, store=store, raise_errors=False)
+        assert results[0].error is not None
+        assert store.stats().entries == 0
+
+    def test_interrupted_campaign_resumes_bit_identical(self, tmp_path):
+        """Kill a campaign partway; the rerun completes from the store and
+        merges byte-identically to an uninterrupted cold run."""
+        tasks = _sim_tasks(6)
+        cold = run_tasks(tasks, jobs=1)
+
+        class Killed(Exception):
+            pass
+
+        def killer(done, total, key):
+            if done == 3:
+                raise Killed  # the process dies mid-campaign
+
+        store = ResultStore(tmp_path)
+        with pytest.raises(Killed):
+            run_tasks(tasks, jobs=1, store=store, progress=killer)
+        checkpointed = store.stats().entries
+        assert 0 < checkpointed < len(tasks)
+
+        resumed = run_tasks(tasks, jobs=1, store=store)
+        assert _payload_bytes(resumed) == _payload_bytes(cold)
+        assert sum(r.cached for r in resumed) == checkpointed
+
+    def test_interrupted_parallel_campaign_resumes(self, tmp_path):
+        tasks = _sim_tasks(6)
+        cold = run_tasks(tasks, jobs=1)
+
+        class Killed(Exception):
+            pass
+
+        def killer(done, total, key):
+            if done == 2:
+                raise Killed
+
+        store = ResultStore(tmp_path)
+        with pytest.raises(Killed):
+            run_tasks(tasks, jobs=2, store=store, progress=killer)
+        # Whatever completed before the kill is on disk; the resume — this
+        # time in parallel — finishes the rest and merges identically.
+        resumed = run_tasks(tasks, jobs=2, store=store)
+        assert _payload_bytes(resumed) == _payload_bytes(cold)
+        assert store.stats().entries == len(tasks)
+
+
+class TestCampaignDifferential:
+    """Warm-cache campaign outputs must be bit-identical to cold runs."""
+
+    def test_frequency_sweep_cold_warm_serial_parallel(
+        self, tiny_specs, tmp_path
+    ):
+        core_spec, comm_spec = tiny_specs
+        baseline = sweep_frequencies(
+            core_spec, comm_spec, FREQS, config=CONFIG, jobs=1
+        )
+        store = ResultStore(tmp_path)
+        cold = sweep_frequencies(
+            core_spec, comm_spec, FREQS, config=CONFIG, jobs=1, store=store
+        )
+        warm_serial = sweep_frequencies(
+            core_spec, comm_spec, FREQS, config=CONFIG, jobs=1, store=store
+        )
+        warm_parallel = sweep_frequencies(
+            core_spec, comm_spec, FREQS, config=CONFIG, jobs=2, store=store
+        )
+        # Compare per-frequency result blobs: whole-dict pickles encode
+        # object sharing *across* independently computed/unpickled results,
+        # which is representation, not content.
+        blobs = [
+            tuple(pickle.dumps(s.per_frequency[f]) for f in s.frequencies)
+            for s in (baseline, cold, warm_serial, warm_parallel)
+        ]
+        assert len(set(blobs)) == 1
+        assert (
+            warm_serial.best_power().total_power_mw
+            == baseline.best_power().total_power_mw
+        )
+
+    def test_simulation_campaign_cold_warm_serial_parallel(self, tmp_path):
+        from repro.experiments.simulation_validation import (
+            run_simulation_validation,
+        )
+
+        kwargs = dict(
+            benchmark="d26_media",
+            injection_scales=(0.1, 0.5),
+            cycles=1_500,
+            warmup=150,
+            config=SynthesisConfig(max_ill=25, switch_count_range=(3, 5)),
+            scenarios=("bernoulli", "bursty"),
+            seeds=(0, 1),
+        )
+        baseline = run_simulation_validation(jobs=1, **kwargs)
+        store = ResultStore(tmp_path)
+        cold = run_simulation_validation(jobs=1, store=store, **kwargs)
+        warm = run_simulation_validation(jobs=1, store=store, **kwargs)
+        warm_parallel = run_simulation_validation(jobs=2, store=store, **kwargs)
+        blobs = [
+            pickle.dumps(t.rows)
+            for t in (baseline, cold, warm, warm_parallel)
+        ]
+        assert len(set(blobs)) == 1
+        # The synthesis itself was checkpointed too: 8 sim runs + 1 synth.
+        assert store.stats().by_task_type == {
+            "SimulationTask": 8, "SynthesisTask": 1,
+        }
+
+    def test_floorplan_multistart_store_reuse(self, tmp_path):
+        from repro.floorplan.annealer import anneal_floorplan
+
+        widths = [1.0, 1.2, 0.8, 1.5, 1.1, 0.9]
+        heights = [1.0, 0.7, 1.3, 0.8, 1.2, 1.0]
+        nets = {(0, 1): 2.0, (2, 3): 1.0, (4, 5): 3.0, (0, 5): 1.5}
+        kwargs = dict(wirelength_weight=1.0, seed=3, moves=150, restarts=3)
+        baseline = anneal_floorplan(widths, heights, nets, **kwargs)
+        store = ResultStore(tmp_path)
+        cold = anneal_floorplan(widths, heights, nets, store=store, **kwargs)
+        warm = anneal_floorplan(widths, heights, nets, store=store, **kwargs)
+        assert pickle.dumps(cold) == pickle.dumps(baseline)
+        assert pickle.dumps(warm) == pickle.dumps(baseline)
+        assert store.stats().by_task_type == {"FloorplanTask": 3}
+        assert store.hits == 3
