@@ -15,7 +15,12 @@ Not a paper figure: this is the repo's own perf-trajectory gate. It runs
   >= 2x wall-clock — when the machine actually has >= 4 CPUs; on smaller
   boxes (CI containers pinned to one core) the speedup is recorded but
   only result *identity* is asserted, since a CPU-bound speedup beyond
-  the core count is physically impossible.
+  the core count is physically impossible, and
+* arming the supervision knobs (retries + a never-firing per-task
+  deadline) on the fault-free parallel sweep costs <= 5% wall-clock over
+  the plain run (best-of-3 each), with identical merged points — and with
+  one injected worker crash the campaign still completes, quarantining
+  exactly the poison task with every survivor identical.
 """
 
 from pathlib import Path
@@ -31,6 +36,7 @@ SWEEP_JOBS = 4
 SWEEP_SPEEDUP_FLOOR = 2.0
 PATHS_SPEEDUP_FLOOR = 1.3
 CACHE_SPEEDUP_FLOOR = 5.0
+SUPERVISION_OVERHEAD_CEILING_PCT = 5.0
 
 
 def _run():
@@ -68,6 +74,19 @@ def test_engine_scaling(benchmark):
     assert cache["speedup"] >= CACHE_SPEEDUP_FLOOR, (
         f"warm-cache speedup {cache['speedup']}x below {CACHE_SPEEDUP_FLOOR}x"
     )
+
+    # Supervision: arming retries + deadlines on a fault-free sweep must be
+    # near-free, and a crashed worker must not take the campaign with it.
+    sup = report["supervision"]
+    assert sup["identical_results"]
+    assert sup["overhead_pct"] <= SUPERVISION_OVERHEAD_CEILING_PCT, (
+        f"supervision overhead {sup['overhead_pct']}% above "
+        f"{SUPERVISION_OVERHEAD_CEILING_PCT}%"
+    )
+    recovery = sup["recovery"]
+    assert recovery["quarantined"] == 1
+    assert recovery["poison_attributed"]
+    assert recovery["survivors_identical"]
 
     # Sweep scaling: only meaningful when the workers have cores to run on.
     cpus = report["cpu_count"] or 1

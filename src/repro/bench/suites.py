@@ -258,6 +258,9 @@ def suite_design_space(
     progress: Optional["ProgressFn"] = None,
     stages: Optional[Sequence] = None,
     store=None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> Dict[str, Dict["GridPoint", "SynthesisResult"]]:
     """Explore an architectural grid over a whole benchmark suite at once.
 
@@ -280,6 +283,9 @@ def suite_design_space(
             (benchmark, point) pairs are served from disk and fresh ones
             checkpointed incrementally, so an interrupted exploration
             resumes on rerun with bit-identical merged results.
+        retry / task_timeout_s / on_error: The engine's supervision knobs
+            (see :func:`repro.engine.run_tasks`); quarantined pairs are
+            absent from the merged mapping.
 
     Returns:
         ``{benchmark name: {grid point: merged synthesis result}}`` with
@@ -307,9 +313,14 @@ def suite_design_space(
                 task, key=(name, task.key), stages=stage_spec,
             ))
 
-    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
+    results = run_tasks(
+        tasks, jobs=jobs, progress=progress, store=store,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+    )
     merged: Dict[str, Dict["GridPoint", "SynthesisResult"]] = {}
     for task_result in results:
+        if task_result.error is not None:
+            continue
         name, point = task_result.key
         merged.setdefault(name, {})[point] = task_result.result
     return merged

@@ -92,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--export-dot", metavar="PATH",
                        help="write the topology as Graphviz DOT")
     _add_cache_args(synth)
+    _add_supervision_args(synth)
 
     sweep = sub.add_parser(
         "sweep", help="explore an architectural design space in parallel"
@@ -117,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
     _add_cache_args(sweep)
+    _add_supervision_args(sweep)
 
     sim = sub.add_parser(
         "sim",
@@ -149,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--quiet", action="store_true",
                      help="suppress per-run progress lines")
     _add_cache_args(sim)
+    _add_supervision_args(sim)
 
     cache = sub.add_parser(
         "cache",
@@ -191,6 +194,39 @@ def _add_cache_args(parser) -> None:
                              ".repro-cache)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="store location (implies --cache)")
+
+
+def _add_supervision_args(parser) -> None:
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-run a failing task up to N extra times "
+                             "(deterministic backoff; default 0)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline; a stuck worker pool is "
+                             "killed and regenerated instead of waited on "
+                             "(parallel runs only)")
+    parser.add_argument("--on-error", choices=("raise", "quarantine"),
+                        default="raise",
+                        help="what to do when a task crashes its worker or "
+                             "times out: abort the campaign (raise, "
+                             "default) or quarantine the task and complete "
+                             "the rest")
+
+
+def _supervision_kwargs(args) -> dict:
+    """Map the --retries/--task-timeout/--on-error flags to run_tasks kwargs."""
+    retry = None
+    if args.retries:
+        if args.retries < 0:
+            raise ReproError(f"--retries must be >= 0, got {args.retries}")
+        from repro.engine.supervise import RetryPolicy
+
+        retry = RetryPolicy(max_retries=args.retries)
+    return {
+        "retry": retry,
+        "task_timeout_s": args.task_timeout,
+        "on_error": args.on_error,
+    }
 
 
 def _open_store(args):
@@ -266,6 +302,7 @@ def _cmd_synth(args) -> int:
         floorplan_jobs=args.floorplan_jobs,
     )
     store = _open_store(args)
+    supervision = _supervision_kwargs(args)
     tool = SunFloor3D(core_spec, comm_spec, config=config)
     cached = False
     if store is not None:
@@ -283,11 +320,17 @@ def _cmd_synth(args) -> int:
             cached = True
         else:
             with Timer() as timer:
-                result = tool.synthesize(jobs=args.jobs)
+                result = tool.synthesize(jobs=args.jobs, **supervision)
             store.put(fingerprint, result, task_type="SynthesisTask",
                       elapsed_s=timer.elapsed_s)
     else:
-        result = tool.synthesize(jobs=args.jobs)
+        result = tool.synthesize(jobs=args.jobs, **supervision)
+    if tool.last_quarantined:
+        print(f"{len(tool.last_quarantined)} candidate evaluation(s) "
+              "quarantined:")
+        for key, message in tool.last_quarantined:
+            print(f"  {key}: {message}")
+        print()
     if args.stage_timings:
         if cached:
             print("per-stage timings unavailable: result served from the "
@@ -360,13 +403,19 @@ def _cmd_sweep(args) -> int:
     print(f"sweeping {len(tasks)} design point(s) "
           f"(jobs={args.jobs or 'auto'})")
     results = run_tasks(tasks, jobs=args.jobs, progress=progress,
-                        store=store)
+                        store=store, **_supervision_kwargs(args))
 
     best = None
+    quarantined = 0
     print(f"\n{'point':36s} {'valid':>5s} {'best mW':>9s} {'best lat':>9s}")
     for task_result in results:
-        result = task_result.result
         label = task_result.key.label()
+        if task_result.error is not None:
+            quarantined += 1
+            note = f"quarantined: {type(task_result.error).__name__}"
+            print(f"{label:36s} {0:5d} {note:>24s}")
+            continue
+        result = task_result.result
         if not result.points:
             note = "skipped" if task_result.skipped else "no valid points"
             print(f"{label:36s} {0:5d} {note:>20s}")
@@ -376,6 +425,9 @@ def _cmd_sweep(args) -> int:
               f"{point.total_power_mw:9.1f} {point.avg_latency_cycles:9.2f}")
         if best is None or point.objective_value() < best.objective_value():
             best = point
+    if quarantined:
+        print(f"\n{quarantined} of {len(results)} point(s) quarantined "
+              "(crashed or timed out); see rows above")
     if best is None:
         print("\nno valid design points anywhere in the grid")
         return 1
@@ -415,6 +467,7 @@ def _cmd_sim(args) -> int:
         jobs=args.jobs,
         progress=progress,
         store=store,
+        **_supervision_kwargs(args),
     )
     print()
     table.print_table()

@@ -21,6 +21,14 @@ serial run. Pass ``store`` (a :class:`~repro.engine.store.ResultStore`) to
 serve already-computed points from disk and checkpoint fresh ones as they
 finish — an interrupted sweep rerun with the same store resumes instead of
 recomputing, with bit-identical merged results.
+
+Fault tolerance rides on the engine's supervision layer: ``retry=`` (a
+:class:`~repro.engine.supervise.RetryPolicy`) re-runs transiently failing
+points, ``task_timeout_s=`` bounds each point's wall clock, and
+``on_error="quarantine"`` lets a sweep *complete* around a point that
+crashes its worker — the casualty is excluded from the merged result (and
+reported in ``FrequencySweepResult.quarantined``) instead of aborting the
+campaign. See ``docs/engine.md`` ("Failure semantics").
 """
 
 from __future__ import annotations
@@ -40,9 +48,15 @@ from repro.spec.core_spec import CoreSpec
 
 @dataclass
 class FrequencySweepResult:
-    """Per-frequency synthesis results, merged."""
+    """Per-frequency synthesis results, merged.
+
+    ``quarantined`` maps frequencies whose point was lost to supervision
+    (worker crash, deadline expiry) under ``on_error="quarantine"`` to the
+    error message; those frequencies are absent from ``per_frequency``.
+    """
 
     per_frequency: Dict[float, SynthesisResult] = field(default_factory=dict)
+    quarantined: Dict[float, str] = field(default_factory=dict)
 
     @property
     def frequencies(self) -> List[float]:
@@ -97,13 +111,19 @@ def sweep_frequencies(
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
     store=None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> FrequencySweepResult:
     """Run the synthesis flow once per frequency (in parallel for jobs != 1).
 
     All frequencies are validated before any synthesis starts, so a bad
     value midway through the list cannot discard already-computed points.
     Frequencies whose link capacity cannot carry the largest single flow
-    are merged as empty results, as before.
+    are merged as empty results, as before. ``retry`` / ``task_timeout_s``
+    / ``on_error`` are the engine's supervision knobs (see
+    :func:`repro.engine.run_tasks`); under ``on_error="quarantine"`` lost
+    points land in ``FrequencySweepResult.quarantined``.
     """
     freqs = [float(f) for f in frequencies_mhz]
     bad = [f for f in freqs if f <= 0]
@@ -117,10 +137,16 @@ def sweep_frequencies(
         core_spec, comm_spec, ParameterGrid(frequencies_mhz=tuple(freqs)),
         base, library,
     )
-    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
+    results = run_tasks(
+        tasks, jobs=jobs, progress=progress, store=store,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+    )
     sweep = FrequencySweepResult()
     for freq, task_result in zip(freqs, results):
-        sweep.per_frequency[freq] = task_result.result
+        if task_result.error is not None:
+            sweep.quarantined[freq] = str(task_result.error)
+        else:
+            sweep.per_frequency[freq] = task_result.result
     return sweep
 
 
@@ -134,13 +160,17 @@ def sweep_alpha(
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
     store=None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> Dict[float, SynthesisResult]:
     """Sweep the PG weight parameter α of Def. 3.
 
     "The parameter α can be set by the designer based on the application
     characteristics or swept by the tool over a range of values, in order to
     meet the latency constraints." Smaller α weights latency-critical flows
-    more heavily during partitioning.
+    more heavily during partitioning. Under ``on_error="quarantine"`` lost
+    points are absent from the returned dict.
     """
     values = [float(a) for a in alphas]
     base = config if config is not None else SynthesisConfig()
@@ -150,10 +180,14 @@ def sweep_alpha(
         core_spec, comm_spec, ParameterGrid(alphas=tuple(values)),
         base, library, skip_infeasible=False,
     )
-    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
+    results = run_tasks(
+        tasks, jobs=jobs, progress=progress, store=store,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+    )
     return {
         alpha: task_result.result
         for alpha, task_result in zip(values, results)
+        if task_result.error is None
     }
 
 
@@ -167,6 +201,9 @@ def sweep_link_widths(
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
     store=None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> Dict[int, SynthesisResult]:
     """Sweep the link data width (an architectural parameter of Sec. IV).
 
@@ -189,10 +226,14 @@ def sweep_link_widths(
         core_spec, comm_spec, ParameterGrid(link_widths_bits=tuple(widths)),
         base, library,
     )
-    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
+    results = run_tasks(
+        tasks, jobs=jobs, progress=progress, store=store,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+    )
     return {
         width: task_result.result
         for width, task_result in zip(widths, results)
+        if task_result.error is None
     }
 
 
@@ -206,11 +247,15 @@ def find_lowest_feasible_frequency(
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
     store=None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> float:
     """The smallest swept frequency with at least one valid design point."""
     sweep = sweep_frequencies(
         core_spec, comm_spec, sorted(frequencies_mhz), library, config,
         jobs=jobs, progress=progress, store=store,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
     )
     for freq in sweep.frequencies:
         if sweep.per_frequency[freq].points:

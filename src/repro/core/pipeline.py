@@ -715,6 +715,10 @@ def _make_batch_evaluator(
     jobs: Optional[int],
     progress: Optional[ProgressFn],
     timings: Optional[StageTimings],
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
+    quarantine_log: Optional[List] = None,
 ) -> BatchEvaluator:
     def serial(requests: Sequence[CandidateRequest]) -> List[CandidateOutcome]:
         outcomes: List[CandidateOutcome] = []
@@ -755,10 +759,29 @@ def _make_batch_evaluator(
         ]
         seed_context(context_token, ctx)
         try:
-            results = run_tasks(tasks, jobs=jobs, progress=progress)
+            results = run_tasks(
+                tasks, jobs=jobs, progress=progress,
+                retry=retry, task_timeout_s=task_timeout_s,
+                on_error=on_error,
+            )
         finally:
             release_context(context_token)
-        outcomes = [task_result.result for task_result in results]
+        outcomes = []
+        for task_result in results:
+            if task_result.error is not None:
+                # A quarantined/timed-out candidate (on_error="quarantine")
+                # becomes a failed outcome, so the synthesis completes on
+                # the surviving candidates.
+                if quarantine_log is not None:
+                    quarantine_log.append(
+                        (task_result.key, str(task_result.error))
+                    )
+                outcomes.append(CandidateOutcome(
+                    failed_stage="supervision",
+                    failure_reason=str(task_result.error),
+                ))
+            else:
+                outcomes.append(task_result.result)
         if timings is not None:
             for outcome in outcomes:
                 timings.merge(outcome.stage_seconds)
@@ -774,6 +797,10 @@ def run_synthesis(
     jobs: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
     timings: Optional[StageTimings] = None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
+    quarantine_log: Optional[List] = None,
 ) -> SynthesisResult:
     """Run the configured flow and return all valid design points.
 
@@ -786,9 +813,21 @@ def run_synthesis(
         progress: Optional per-candidate callback
             ``(done_in_round, round_total, key)``.
         timings: Optional :class:`StageTimings` accumulator to fill.
+        retry / task_timeout_s / on_error: Supervision knobs of the
+            candidate fan-out (parallel runs; see
+            :func:`repro.engine.run_tasks`). Under
+            ``on_error="quarantine"`` a candidate lost to a worker crash
+            or deadline is treated as a failed candidate, not a fatal
+            error.
+        quarantine_log: Optional list collecting ``(key, message)`` pairs
+            for candidates lost to supervision.
     """
     pipeline = pipeline if pipeline is not None else build_pipeline()
-    evaluate_batch = _make_batch_evaluator(ctx, pipeline, jobs, progress, timings)
+    evaluate_batch = _make_batch_evaluator(
+        ctx, pipeline, jobs, progress, timings,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+        quarantine_log=quarantine_log,
+    )
     result = SynthesisResult()
     phase = ctx.config.phase
     if phase in ("auto", "phase1"):

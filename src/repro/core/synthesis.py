@@ -63,6 +63,9 @@ class SunFloor3D:
         self.pipeline = pipeline if pipeline is not None else build_pipeline()
         #: Stage timings of the most recent :meth:`synthesize` call.
         self.last_stage_timings: Optional[StageTimings] = None
+        #: Candidates lost to supervision (worker crash/deadline) in the
+        #: most recent :meth:`synthesize` call, as ``(key, message)`` pairs.
+        self.last_quarantined: list = []
 
     # -- context attributes (kept for API compatibility) -----------------------
 
@@ -101,6 +104,9 @@ class SunFloor3D:
         jobs: Optional[int] = 1,
         progress: Optional[ProgressFn] = None,
         timings: Optional[StageTimings] = None,
+        retry=None,
+        task_timeout_s: Optional[float] = None,
+        on_error: str = "raise",
     ) -> SynthesisResult:
         """Run the configured flow and return all valid design points.
 
@@ -108,15 +114,25 @@ class SunFloor3D:
         fans independent candidates across the engine process pool with
         bit-identical results. Per-stage wall-clock totals land in
         ``timings`` (or ``self.last_stage_timings``).
+
+        ``retry``/``task_timeout_s``/``on_error`` supervise the parallel
+        candidate fan-out (see :func:`repro.engine.run_tasks`); candidates
+        lost to supervision under ``on_error="quarantine"`` are recorded
+        in ``self.last_quarantined`` as ``(key, message)`` pairs.
         """
         timings = timings if timings is not None else StageTimings()
         self.last_stage_timings = timings
+        self.last_quarantined = []
         return run_synthesis(
             self.context,
             pipeline=self.pipeline,
             jobs=jobs,
             progress=progress,
             timings=timings,
+            retry=retry,
+            task_timeout_s=task_timeout_s,
+            on_error=on_error,
+            quarantine_log=self.last_quarantined,
         )
 
     def evaluate_assignment(self, assignment: Assignment) -> Optional[DesignPoint]:
@@ -138,6 +154,9 @@ def synthesize(
     progress: Optional[ProgressFn] = None,
     pipeline: Optional[Pipeline] = None,
     timings: Optional[StageTimings] = None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> SynthesisResult:
     """Convenience wrapper: build the context and run the staged pipeline."""
     return run_synthesis(
@@ -146,4 +165,7 @@ def synthesize(
         jobs=jobs,
         progress=progress,
         timings=timings,
+        retry=retry,
+        task_timeout_s=task_timeout_s,
+        on_error=on_error,
     )

@@ -17,6 +17,13 @@ package fans them across a process pool:
   ``run_tasks(..., store=ResultStore(dir))`` serves already-computed points
   from disk and checkpoints new ones incrementally, making campaigns
   resumable;
+* :mod:`repro.engine.supervise` — fault tolerance: per-task
+  :class:`RetryPolicy` retries, deadline watchdog, poison-task quarantine
+  with bounded pool restarts (``run_tasks(..., retry=, task_timeout_s=,
+  on_error=)``);
+* :mod:`repro.engine.faults` — the deterministic fault-injection harness
+  (seeded :class:`FaultPlan`; transient/crash/delay faults) that proves
+  the recovery paths in the tier-1 suite;
 * :mod:`repro.engine.profile` — wall-clock timers backing
   ``BENCH_engine.json``;
 * :mod:`repro.engine.reference` — the frozen pre-optimisation routing
@@ -42,9 +49,11 @@ knobs.
 """
 
 from repro.engine.executor import ProgressFn, resolve_jobs, run_tasks
+from repro.engine.faults import FaultPlan, FaultSpec, FaultyTask, inject_faults
 from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
 from repro.engine.profile import ProfileRecorder, Timer
 from repro.engine.store import ResultStore, fingerprint_task, open_store
+from repro.engine.supervise import RetryPolicy
 from repro.engine.tasks import (
     CandidateTask,
     SimulationTask,
@@ -52,20 +61,33 @@ from repro.engine.tasks import (
     TaskResult,
     run_task,
 )
+from repro.errors import (
+    SupervisionError,
+    TaskQuarantinedError,
+    TaskTimeoutError,
+)
 
 __all__ = [
     "CandidateTask",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyTask",
     "GridPoint",
     "ParameterGrid",
     "ProfileRecorder",
     "ProgressFn",
     "ResultStore",
+    "RetryPolicy",
     "SimulationTask",
+    "SupervisionError",
     "SynthesisTask",
+    "TaskQuarantinedError",
     "TaskResult",
+    "TaskTimeoutError",
     "Timer",
     "build_tasks",
     "fingerprint_task",
+    "inject_faults",
     "open_store",
     "resolve_jobs",
     "run_task",

@@ -24,7 +24,13 @@ Measures the claims this subsystem makes and writes them to
   :mod:`repro.noc.reference` on the same design's synthesized topology,
   single-threaded cycles/sec at validation load (with a saturation point
   recorded too) plus the parallel traffic-campaign leg, with bit-identity
-  checks.
+  checks;
+* **supervision overhead & recovery** — the same parallel sweep with the
+  :mod:`repro.engine.supervise` knobs armed (retries + per-task deadline)
+  versus plain, fault-free (the overhead claim), and with one injected
+  worker crash under ``on_error="quarantine"`` (wall-clock to complete the
+  campaign with the poison task quarantined and every survivor identical
+  to the fault-free merge).
 
 Shared by ``python -m repro.cli bench``,
 ``benchmarks/bench_engine_scaling.py``,
@@ -130,6 +136,8 @@ def run_engine_benchmark(
     paths_report = _bench_compute_paths(bench, recorder, say)
     floorplan_report = _bench_floorplan(bench, recorder, say, workers, quick)
     simulator_report = _bench_simulator(bench, recorder, say, workers, quick)
+    supervision_report = _bench_supervision(tasks, serial, recorder, say,
+                                            workers)
 
     report = {
         "benchmark": "engine-scaling",
@@ -152,6 +160,7 @@ def run_engine_benchmark(
         "compute_paths": paths_report,
         "floorplan": floorplan_report,
         "simulator": simulator_report,
+        "supervision": supervision_report,
     }
     if output:
         recorder.write_json(output, extra=report)
@@ -397,6 +406,99 @@ def _bench_floorplan(
             "speedup": round(multi_speedup, 3),
             "identical_results": multi_identical,
             "winner_restart": serial.restart_index,
+        },
+    }
+
+
+def _bench_supervision(
+    tasks, serial_results, recorder: ProfileRecorder,
+    say: Callable[[str], None], workers: int,
+) -> Dict:
+    """Fault-free supervision overhead + crash-recovery wall time.
+
+    The overhead leg runs the parallel sweep plain and with the supervision
+    knobs armed (retries + a generous per-task deadline that never fires),
+    best-of-3 interleaved so a scheduler stall cannot flip the comparison.
+    The recovery leg injects one worker crash mid-campaign and measures the
+    wall-clock for the supervised pool to attribute the crasher, quarantine
+    it, regenerate the pool and finish every surviving point.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine.faults import FaultPlan, FaultSpec, inject_faults
+    from repro.engine.supervise import RetryPolicy
+
+    retry = RetryPolicy(max_retries=2)
+    deadline_s = 300.0  # generous: never fires fault-free
+    plain = armed = None
+    for _ in range(3):
+        with recorder.time("supervision_plain", jobs=workers):
+            plain = run_tasks(tasks, jobs=workers)
+        with recorder.time("supervision_armed", jobs=workers):
+            armed = run_tasks(
+                tasks, jobs=workers, retry=retry,
+                task_timeout_s=deadline_s, on_error="quarantine",
+            )
+    plain_s = recorder.best_s("supervision_plain")
+    armed_s = recorder.best_s("supervision_armed")
+    overhead_pct = (
+        (armed_s - plain_s) / plain_s * 100.0 if plain_s > 0 else 0.0
+    )
+    identical = (
+        _canonical(armed) == _canonical(plain) == _canonical(serial_results)
+    )
+    say(
+        f"supervision: plain {plain_s:.2f}s, armed {armed_s:.2f}s -> "
+        f"{overhead_pct:+.1f}% overhead (identical points: {identical})"
+    )
+
+    # Recovery: crash one task's worker mid-campaign; the supervised pool
+    # must quarantine exactly that task and finish the rest.
+    crash_index = len(tasks) // 2
+    tmp = tempfile.mkdtemp(prefix="repro-bench-faults-")
+    try:
+        # times > 1: a genuine poison task crashes its worker every attempt
+        # (a once-only crash would be acquitted by the solo re-run).
+        plan = FaultPlan(tmp, {crash_index: FaultSpec("crash", times=100)})
+        faulty = inject_faults(tasks, plan)
+        with recorder.time("supervision_recovery", jobs=workers):
+            recovered = run_tasks(
+                faulty, jobs=workers, task_timeout_s=deadline_s,
+                on_error="quarantine",
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    recovery_s = recorder.best_s("supervision_recovery")
+    quarantined = [r for r in recovered if r.error is not None]
+    poison_attributed = (
+        len(quarantined) == 1
+        and quarantined[0].key == tasks[crash_index].key
+    )
+    survivors_identical = _canonical(
+        [r for r in recovered if r.error is None]
+    ) == _canonical(
+        [r for i, r in enumerate(serial_results) if i != crash_index]
+    )
+    say(
+        f"supervision recovery: {recovery_s:.2f}s with 1 injected crash "
+        f"(poison attributed: {poison_attributed}, survivors identical: "
+        f"{survivors_identical})"
+    )
+    return {
+        "grid_points": len(tasks),
+        "jobs": workers,
+        "plain_s": round(plain_s, 4),
+        "armed_s": round(armed_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "identical_results": identical,
+        "recovery": {
+            "injected_crashes": 1,
+            "recovery_s": round(recovery_s, 4),
+            "quarantined": len(quarantined),
+            "poison_attributed": poison_attributed,
+            "attempts": quarantined[0].attempts if quarantined else 0,
+            "survivors_identical": survivors_identical,
         },
     }
 

@@ -1,4 +1,4 @@
-"""The parallel sweep executor: fan tasks across a process pool.
+"""The parallel sweep executor: fan tasks across a supervised process pool.
 
 The architectural sweep of Fig. 3 is embarrassingly parallel — every
 (frequency, α, link width, switch-count range) point runs the full
@@ -11,13 +11,24 @@ carefully:
   dataclasses;
 * **deterministic merging** — results are returned in *submission order*
   regardless of completion order, and a failing task re-raises its error
-  exactly where a serial loop would have (first failure in task order);
+  exactly where a serial loop would have (first failure in task order),
+  with the worker-side traceback chained on for debuggability;
 * **graceful serial fallback** — ``jobs=1``, single-task lists and pool
   creation failures (sandboxed environments without ``/dev/shm``, missing
   ``multiprocessing`` primitives) degrade to the plain in-process loop
-  that produces identical results; a pool broken *mid-run* (a worker
-  OOM-killed) keeps every completed result and finishes only the missing
-  tasks in-process;
+  that produces identical results;
+* **supervision** (:mod:`repro.engine.supervise`) — ``retry=`` applies a
+  bounded, deterministic per-task :class:`~repro.engine.supervise
+  .RetryPolicy` inside the worker; ``task_timeout_s=`` arms a watchdog
+  that kills and regenerates a pool stuck past its deadline instead of
+  blocking forever; a broken pool (worker OOM-killed, segfaulted) is
+  recovered by *attributing* the crasher — each unfinished task re-runs
+  alone in a fresh single-worker pool, the one that crashes it again is
+  quarantined as a structured :class:`~repro.errors.TaskQuarantinedError`
+  result — and restarting the pool (at most ``max_pool_restarts`` times),
+  so the rest of the campaign completes. ``on_error`` decides whether
+  supervision errors raise (``"raise"``, default) or stay inspectable in
+  the results (``"quarantine"``);
 * **progress callbacks** — ``progress(done, total, key)`` fires in the
   parent as points finish, for CLI spinners and logging;
 * **persistent result reuse** — ``store=`` plugs in a content-addressed
@@ -25,7 +36,8 @@ carefully:
   served from disk (``TaskResult.cached``), misses are computed as usual
   and *checkpointed incrementally* as they complete, so an interrupted
   campaign resumes from the store with merged results bit-identical to an
-  uninterrupted cold run.
+  uninterrupted cold run. Failed, timed-out and quarantined tasks are
+  never cached.
 
 ``jobs`` resolution: ``None`` or ``0`` → ``$REPRO_ENGINE_JOBS`` if set,
 else ``os.cpu_count()``; ``1`` → serial; ``n >= 2`` → pool of ``n``
@@ -37,6 +49,12 @@ from __future__ import annotations
 import os
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.engine.supervise import (
+    RetryPolicy,
+    Supervision,
+    attach_remote_traceback,
+    run_supervised_pool,
+)
 from repro.engine.tasks import SynthesisTask, TaskResult, run_task
 from repro.errors import EngineError
 
@@ -44,6 +62,8 @@ from repro.errors import EngineError
 ProgressFn = Callable[[int, int, object], None]
 
 _JOBS_ENV = "REPRO_ENGINE_JOBS"
+
+_ON_ERROR_MODES = ("raise", "quarantine")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -76,6 +96,10 @@ def run_tasks(
     chunk_size: int = 1,
     raise_errors: bool = True,
     store=None,
+    retry: Optional[RetryPolicy] = None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
+    max_pool_restarts: int = 3,
 ) -> List[TaskResult]:
     """Run every task and return results in submission order.
 
@@ -85,7 +109,9 @@ def run_tasks(
             callers opt in to parallelism), ``None``/``0`` = auto.
         progress: Optional callback fired after each completed point.
         chunk_size: Tasks per worker round-trip; raise above 1 when points
-            are so fast that pickling dominates.
+            are so fast that pickling dominates. Crash attribution and
+            deadlines are per-chunk, so keep it at 1 when supervision
+            precision matters.
         raise_errors: Re-raise the first (in task order) captured error.
             With ``False`` the caller inspects ``TaskResult.error`` itself.
         store: Optional :class:`~repro.engine.store.ResultStore`. Hits are
@@ -93,23 +119,56 @@ def run_tasks(
             and are written to the store *as they complete* (incremental
             checkpointing), errors and pre-skipped tasks excluded. Merged
             results are bit-identical with and without a store.
+        retry: Optional :class:`~repro.engine.supervise.RetryPolicy` —
+            failed attempts matching the policy re-run (in the worker,
+            deterministic backoff) before the error is recorded.
+        task_timeout_s: Per-task deadline (parallel runs only — the serial
+            path cannot preempt a task in its own process). An in-flight
+            chunk past ``task_timeout_s * len(chunk)`` has its pool killed
+            and regenerated; its tasks become
+            :class:`~repro.errors.TaskTimeoutError` results. Timed-out
+            tasks are not retried.
+        on_error: ``"raise"`` (default) lets supervision errors (timeouts,
+            quarantines) surface through the ``raise_errors`` gate like any
+            task error; ``"quarantine"`` keeps them as structured
+            ``TaskResult.error`` rows so the campaign completes and the
+            caller inspects the casualties.
+        max_pool_restarts: Pool regenerations (crash or timeout recovery)
+            allowed per call before remaining tasks are quarantined as
+            budget-exhausted.
     """
     if chunk_size < 1:
         raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
+    if on_error not in _ON_ERROR_MODES:
+        raise EngineError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
+    if task_timeout_s is not None and task_timeout_s <= 0:
+        raise EngineError(
+            f"task_timeout_s must be positive, got {task_timeout_s}"
+        )
+    if max_pool_restarts < 0:
+        raise EngineError(
+            f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+        )
+    sup = Supervision(
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+        max_pool_restarts=max_pool_restarts,
+    )
     tasks = list(tasks)
     workers = resolve_jobs(jobs)
     if store is not None:
         return _run_with_store(
-            tasks, store, workers, progress, chunk_size, raise_errors
+            tasks, store, workers, progress, chunk_size, raise_errors, sup
         )
     if workers <= 1 or len(tasks) <= 1:
-        return _run_serial(tasks, progress, raise_errors)
+        return _run_serial(tasks, progress, raise_errors, sup=sup)
 
-    results = _run_parallel(tasks, workers, progress, chunk_size)
-    if results is None:  # pool could not be created or broke mid-run
-        return _run_serial(tasks, progress, raise_errors)
+    results = _run_parallel(tasks, workers, progress, chunk_size, sup=sup)
+    if results is None:  # pool could not be created at all
+        return _run_serial(tasks, progress, raise_errors, sup=sup)
     if raise_errors:
-        _raise_first(results)
+        _raise_first(results, sup)
     return results
 
 
@@ -120,43 +179,34 @@ def run_tasks(
 #: Completion hook fired in the parent per finished task (store writes).
 _OnResultFn = Callable[[TaskResult], None]
 
+_DEFAULT_SUP = Supervision()
+
 
 def _run_serial(
     tasks: Sequence[SynthesisTask],
     progress: Optional[ProgressFn],
     raise_errors: bool,
     on_result: Optional[_OnResultFn] = None,
+    sup: Supervision = _DEFAULT_SUP,
 ) -> List[TaskResult]:
     results: List[TaskResult] = []
     total = len(tasks)
     for i, task in enumerate(tasks):
-        result = run_task(task)
+        result = run_task(task, sup.retry)
         # The completion hook runs before a failure is re-raised, so every
         # point finished *before* the failing one is already checkpointed.
         if on_result is not None:
             on_result(result)
-        if raise_errors and result.error is not None:
+        if (
+            raise_errors
+            and result.error is not None
+            and sup.should_raise(result.error)
+        ):
             raise result.error
         results.append(result)
         if progress is not None:
             progress(i + 1, total, task.key)
     return results
-
-
-def _run_chunk(chunk: List[SynthesisTask]) -> List[TaskResult]:
-    """Worker entry point for chunked submission (top level: picklable)."""
-    return [run_task(task) for task in chunk]
-
-
-def _pool_context():
-    """A fork multiprocessing context when available (cheap workers), else
-    the platform default."""
-    import multiprocessing
-
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return multiprocessing.get_context()
 
 
 def _run_parallel(
@@ -165,19 +215,10 @@ def _run_parallel(
     progress: Optional[ProgressFn],
     chunk_size: int,
     on_result: Optional[_OnResultFn] = None,
+    sup: Supervision = _DEFAULT_SUP,
 ) -> Optional[List[TaskResult]]:
-    """Fan out over a process pool; None signals 'fall back to serial'."""
-    try:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-        from concurrent.futures.process import BrokenProcessPool
-    except ImportError:
-        return None
-
-    chunks = [
-        tasks[i:i + chunk_size] for i in range(0, len(tasks), chunk_size)
-    ]
+    """Fan out over a supervised pool; None signals 'fall back to serial'."""
     total = len(tasks)
-    slots: List[Optional[List[TaskResult]]] = [None] * len(chunks)
     done = 0
 
     def note(chunk_results: List[TaskResult]) -> None:
@@ -194,43 +235,19 @@ def _run_parallel(
         else:
             done += len(chunk_results)
 
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            mp_context=_pool_context(),
-        ) as pool:
-            futures = {
-                pool.submit(_run_chunk, chunk): idx
-                for idx, chunk in enumerate(chunks)
-            }
-            for future in as_completed(futures):
-                idx = futures[future]
-                slots[idx] = future.result()
-                note(slots[idx])
-    except (OSError, PermissionError):
-        # No usable multiprocessing in this environment. Nothing completed
-        # (pool creation failed): let the caller fall back to serial.
-        return None
-    except BrokenProcessPool:
-        # A worker died mid-run (OOM kill, crash). Keep what completed and
-        # finish only the missing chunks in-process — no task runs twice
-        # and the progress counter stays monotonic.
-        for idx, chunk_results in enumerate(slots):
-            if chunk_results is None:
-                slots[idx] = _run_chunk(chunks[idx])
-                note(slots[idx])
-
-    merged: List[TaskResult] = []
-    for chunk_results in slots:
-        assert chunk_results is not None
-        merged.extend(chunk_results)
-    return merged
+    return run_supervised_pool(tasks, workers, chunk_size, sup, note)
 
 
-def _raise_first(results: Sequence[TaskResult]) -> None:
+def _raise_first(
+    results: Sequence[TaskResult], sup: Supervision = _DEFAULT_SUP
+) -> None:
     for result in results:
-        if result.error is not None:
-            raise result.error
+        error = result.error
+        if error is None:
+            continue
+        if not sup.should_raise(error):
+            continue
+        raise attach_remote_traceback(error, result.traceback)
 
 
 def _run_with_store(
@@ -240,6 +257,7 @@ def _run_with_store(
     progress: Optional[ProgressFn],
     chunk_size: int,
     raise_errors: bool,
+    sup: Supervision = _DEFAULT_SUP,
 ) -> List[TaskResult]:
     """Serve hits from the store, compute misses, checkpoint incrementally.
 
@@ -280,14 +298,14 @@ def _run_with_store(
         computed = _run_store_misses(
             misses, fingerprints, workers,
             miss_progress if progress else None, chunk_size, raise_errors,
-            store,
+            store, sup,
         )
         for (i, _task), result in zip(misses, computed):
             slots[i] = result
 
     results = [r for r in slots if r is not None]
     if raise_errors:
-        _raise_first(results)
+        _raise_first(results, sup)
     return results
 
 
@@ -299,6 +317,7 @@ def _run_store_misses(
     chunk_size: int,
     raise_errors: bool,
     store,
+    sup: Supervision = _DEFAULT_SUP,
 ) -> List[TaskResult]:
     """Compute the store misses, writing each result as it completes.
 
@@ -309,12 +328,16 @@ def _run_store_misses(
     """
     import dataclasses
 
+    from repro.engine.faults import unwrap_task
+
     indexed = [
         dataclasses.replace(task, key=(idx, task.key))
         for idx, (_i, task) in enumerate(misses)
     ]
     fp_by_idx = [fingerprints[i] for i, _task in misses]
-    type_by_idx = [type(task).__name__ for _i, task in misses]
+    type_by_idx = [
+        type(unwrap_task(task)).__name__ for _i, task in misses
+    ]
 
     def checkpoint(result: TaskResult) -> None:
         if result.error is not None or result.skipped:
@@ -326,13 +349,17 @@ def _run_store_misses(
         )
 
     if workers <= 1 or len(indexed) <= 1:
-        results = _run_serial(indexed, progress, raise_errors, checkpoint)
+        results = _run_serial(
+            indexed, progress, raise_errors, checkpoint, sup
+        )
     else:
         results = _run_parallel(
-            indexed, workers, progress, chunk_size, checkpoint
+            indexed, workers, progress, chunk_size, checkpoint, sup
         )
         if results is None:
-            results = _run_serial(indexed, progress, raise_errors, checkpoint)
+            results = _run_serial(
+                indexed, progress, raise_errors, checkpoint, sup
+            )
     for result in results:
         result.key = result.key[1]
     return results

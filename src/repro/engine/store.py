@@ -217,7 +217,15 @@ def fingerprint_task(task: Any, *, salt: Optional[str] = None) -> str:
     run-local handles) and the code-version ``salt`` into a SHA-256 hex
     digest. Raises :class:`~repro.errors.StoreError` when a field has no
     stable representation.
+
+    A task class may declare ``__fingerprint_delegate__ = "<field>"`` to
+    fingerprint as the task held in that field — fault-injection wrappers
+    (:class:`~repro.engine.faults.FaultyTask`) use this so a chaos run
+    shares content addresses with a clean one.
     """
+    delegate = getattr(type(task), "__fingerprint_delegate__", None)
+    if delegate is not None:
+        return fingerprint_task(getattr(task, delegate), salt=salt)
     if not dataclasses.is_dataclass(task) or isinstance(task, type):
         raise StoreError(
             f"tasks must be dataclass instances, got {type(task).__qualname__}"

@@ -183,6 +183,12 @@ class TaskResult:
     :class:`~repro.engine.store.ResultStore` instead of computed; the
     payload is bit-identical to a fresh computation, only ``elapsed_s``
     (the fetch cost, effectively zero) differs.
+
+    ``attempts`` counts executions of the task body (1 without retries);
+    ``elapsed_s`` accumulates across attempts. ``traceback`` carries the
+    worker-side formatted traceback of ``error`` — exceptions crossing the
+    pickle boundary lose ``__traceback__``, so this string is the only
+    record of *where* a remote failure happened.
     """
 
     key: Hashable
@@ -191,15 +197,58 @@ class TaskResult:
     elapsed_s: float = 0.0
     skipped: bool = False
     cached: bool = False
+    attempts: int = 1
+    traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def run_task(task) -> TaskResult:
+def run_task(task, retry=None) -> TaskResult:
     """Execute one engine task (worker entry point — must stay importable
-    at module top level for pickling)."""
+    at module top level for pickling).
+
+    ``retry`` is an optional :class:`~repro.engine.supervise.RetryPolicy`:
+    a failed attempt whose error the policy accepts is re-run (same process,
+    deterministic backoff) up to ``retry.max_retries`` extra times. The
+    returned result records total ``attempts`` and accumulated ``elapsed_s``.
+    """
+    result = _attempt_task(task)
+    if retry is None:
+        return result
+    for retry_number in range(1, retry.max_retries + 1):
+        if result.error is None or result.skipped:
+            break
+        if not retry.should_retry(result.error):
+            break
+        retry.wait(retry_number)
+        fresh = _attempt_task(task)
+        fresh.elapsed_s += result.elapsed_s
+        fresh.attempts = result.attempts + 1
+        result = fresh
+    return result
+
+
+def run_chunk(chunk, retry=None):
+    """Worker entry point for chunked submission (top level: picklable)."""
+    return [run_task(task, retry) for task in chunk]
+
+
+def _attempt_task(task) -> TaskResult:
+    """One execution of a task body (no retry logic)."""
+    activate = getattr(task, "activate_fault", None)
+    if activate is not None:
+        # A fault-injection wrapper (repro.engine.faults.FaultyTask): fire
+        # the fault, then run the wrapped task under the *wrapper's* key —
+        # the executor may have re-keyed the wrapper for store bookkeeping.
+        fault_result = _timed_task(task.key, activate)
+        if fault_result.error is not None:
+            return fault_result
+        inner_result = _attempt_task(task.inner)
+        inner_result.key = task.key
+        inner_result.elapsed_s += fault_result.elapsed_s
+        return inner_result
     if isinstance(task, CandidateTask):
         return _run_candidate_task(task)
     if isinstance(task, FloorplanTask):
@@ -228,15 +277,25 @@ def run_task(task) -> TaskResult:
 
 def _timed_task(key, fn) -> TaskResult:
     """Run one task body, capturing wall clock and any error (never raises
-    across the process boundary — the executor re-raises deterministically)."""
+    across the process boundary — the executor re-raises deterministically).
+
+    ``KeyboardInterrupt``/``SystemExit`` are cancellations, not task
+    failures: they propagate, so an interrupted campaign tears down promptly
+    instead of filing the interrupt as just another task error.
+    """
     import time
 
     start = time.perf_counter()
     try:
         result = fn()
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except BaseException as exc:
+        import traceback
+
         return TaskResult(
-            key=key, error=exc, elapsed_s=time.perf_counter() - start
+            key=key, error=exc, elapsed_s=time.perf_counter() - start,
+            traceback=traceback.format_exc(),
         )
     return TaskResult(
         key=key, result=result, elapsed_s=time.perf_counter() - start

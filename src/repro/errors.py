@@ -48,3 +48,34 @@ class EngineError(ReproError):
 class StoreError(EngineError):
     """The on-disk result store is unusable (unwritable/invalid location)
     or a value has no stable fingerprint."""
+
+
+class SupervisionError(EngineError):
+    """Base class for failures *synthesized by the engine supervisor* (as
+    opposed to errors raised by task code): deadline expiries and poison-task
+    quarantines. ``run_tasks(..., on_error="quarantine")`` returns these as
+    structured :class:`~repro.engine.tasks.TaskResult` errors instead of
+    raising."""
+
+
+class TaskTimeoutError(SupervisionError):
+    """A task exceeded its per-task deadline; its worker pool was torn down
+    and regenerated rather than waited on forever."""
+
+    def __init__(self, message: str, *, key=None, timeout_s: float = 0.0):
+        super().__init__(message)
+        self.key = key
+        self.timeout_s = timeout_s
+
+
+class TaskQuarantinedError(SupervisionError):
+    """A task was attributed as a worker-pool crasher (or could not be
+    scheduled after the pool-restart budget ran out) and quarantined so the
+    rest of the campaign could complete."""
+
+    def __init__(self, message: str, *, key=None, attempts: int = 0,
+                 reason: str = "crash"):
+        super().__init__(message)
+        self.key = key
+        self.attempts = attempts
+        self.reason = reason

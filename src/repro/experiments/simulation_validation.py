@@ -49,6 +49,9 @@ def run_simulation_validation(
     drain_limit: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     store=None,
+    retry=None,
+    task_timeout_s: Optional[float] = None,
+    on_error: str = "raise",
 ) -> ExperimentResult:
     """One row per (scenario, offered load, seed): simulated vs analytic.
 
@@ -74,6 +77,11 @@ def run_simulation_validation(
             served from / checkpointed into the store, so a killed campaign
             rerun with the same store resumes where it stopped and merges
             bit-identically to an uninterrupted cold run.
+        retry / task_timeout_s / on_error: The engine's supervision knobs
+            (see :func:`repro.engine.run_tasks`). Under
+            ``on_error="quarantine"`` runs lost to a worker crash or
+            deadline are dropped from the table and counted in its
+            ``notes`` instead of aborting the campaign.
     """
     if config is None:
         config = default_config_for(benchmark)
@@ -105,7 +113,10 @@ def run_simulation_validation(
         for scale in injection_scales
         for seed in seeds
     ]
-    results = run_tasks(tasks, jobs=jobs, progress=progress, store=store)
+    results = run_tasks(
+        tasks, jobs=jobs, progress=progress, store=store,
+        retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+    )
 
     table = ExperimentResult(
         name=f"Simulation vs analytic latency, {benchmark} (best 3-D point)",
@@ -120,7 +131,16 @@ def run_simulation_validation(
             "stages per link; runs drain in-flight packets past the horizon"
         ),
     )
+    quarantined = [r for r in results if r.error is not None]
+    if quarantined:
+        lost = ", ".join(str(r.key) for r in quarantined)
+        table.notes += (
+            f"; {len(quarantined)} of {len(results)} run(s) quarantined "
+            f"({lost}) — rows omitted"
+        )
     for task_result in results:
+        if task_result.error is not None:
+            continue
         label, scale, seed = task_result.key
         stats = task_result.result
         table.add(
