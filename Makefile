@@ -4,7 +4,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Recorded line-coverage floor for src/repro/engine (the chaos suite
 # drives the supervise/faults recovery paths; benchmark.py is exercised by
 # `make bench`, not unit tests, and counts honestly against the total).
-ENGINE_COV_FLOOR ?= 70
+# Raised from 70 with the StageCache suite (measured 75.8%).
+ENGINE_COV_FLOOR ?= 73
 
 .PHONY: help test test-fast check coverage chaos bench bench-full benchmarks
 
@@ -13,7 +14,8 @@ help:
 	@echo "  make test       - full tier-1 pytest suite"
 	@echo "  make test-fast  - tier-1 suite minus the 'slow' marker"
 	@echo "                    (annealer/simulator/experiment-heavy tests)"
-	@echo "  make check      - compileall smoke + full tier-1 suite"
+	@echo "  make check      - compileall smoke + stage-salt lint + full"
+	@echo "                    tier-1 suite"
 	@echo "  make coverage   - engine-focused tests under line coverage of"
 	@echo "                    src/repro/engine; fails below $(ENGINE_COV_FLOOR)%"
 	@echo "  make chaos      - fault-injection suite: every supervision"
@@ -31,9 +33,11 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
-# The CI gate: a whole-tree import/compile smoke, then the full suite.
+# The CI gate: a whole-tree import/compile smoke, the stage-salt lint
+# (a changed Stage.run must bump its cache salt), then the full suite.
 check:
 	$(PYTHON) -m compileall -q src
+	$(PYTHON) tools/check_stage_salts.py
 	$(PYTHON) -m pytest -x -q
 
 # Engine coverage gate: settrace-based line coverage (no external coverage
@@ -41,8 +45,8 @@ check:
 coverage:
 	$(PYTHON) tools/engine_coverage.py --floor $(ENGINE_COV_FLOOR) -- -q \
 	    tests/test_engine.py tests/test_store.py tests/test_profile.py \
-	    tests/test_cache_cli.py tests/test_paths_micro_bench.py \
-	    tests/test_faults.py
+	    tests/test_cache_cli.py tests/test_stagecache.py \
+	    tests/test_paths_micro_bench.py tests/test_faults.py
 
 # The chaos gate: retries, deadlines, quarantine, Ctrl-C and resume under
 # deterministic injected faults (transient failures, worker crashes, hangs).

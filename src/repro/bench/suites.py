@@ -261,6 +261,8 @@ def suite_design_space(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    stage_cache_dir: Optional[str] = None,
+    stage_cache_salt: Optional[str] = None,
 ) -> Dict[str, Dict["GridPoint", "SynthesisResult"]]:
     """Explore an architectural grid over a whole benchmark suite at once.
 
@@ -286,6 +288,10 @@ def suite_design_space(
         retry / task_timeout_s / on_error: The engine's supervision knobs
             (see :func:`repro.engine.run_tasks`); quarantined pairs are
             absent from the merged mapping.
+        stage_cache_dir / stage_cache_salt: Per-stage memoization
+            (:mod:`repro.engine.stagecache`): pipeline stages whose inputs
+            repeat across grid points — or across benchmarks sharing a
+            sub-design — are served from disk, bit-identically.
 
     Returns:
         ``{benchmark name: {grid point: merged synthesis result}}`` with
@@ -308,7 +314,11 @@ def suite_design_space(
     for name in names:
         bench = get_benchmark(name)
         core_spec = bench.core_spec_3d if dims == "3d" else bench.core_spec_2d
-        for task in build_tasks(core_spec, bench.comm_spec, grid, base_config):
+        for task in build_tasks(
+            core_spec, bench.comm_spec, grid, base_config,
+            stage_cache_dir=stage_cache_dir,
+            stage_cache_salt=stage_cache_salt,
+        ):
             tasks.append(dataclasses.replace(
                 task, key=(name, task.key), stages=stage_spec,
             ))

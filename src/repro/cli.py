@@ -21,7 +21,11 @@ Sub-commands:
   store (``stats`` / ``verify`` / ``clear``); ``synth``, ``sweep`` and
   ``sim`` accept ``--cache`` / ``--cache-dir DIR`` to serve
   already-computed results from the store and checkpoint fresh ones, so a
-  killed campaign resumes on rerun (see ``docs/engine.md``).
+  killed campaign resumes on rerun (see ``docs/engine.md``). With caching
+  on, ``synth`` and ``sweep`` also memoize *individual pipeline stages*
+  (see ``docs/pipeline.md``), so a changed parameter re-runs only the
+  stages it invalidates; ``cache stats`` breaks those records out per
+  stage.
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig17, fig18, fig19,
   fig21, fig23, table1).
@@ -305,24 +309,44 @@ def _cmd_synth(args) -> int:
     supervision = _supervision_kwargs(args)
     tool = SunFloor3D(core_spec, comm_spec, config=config)
     cached = False
+    stage_cache = None
     if store is not None:
         # The whole run is one content-addressed unit: a rerun with the
         # same specs + config is served from disk without synthesizing.
+        # Beneath it, per-stage memoization shares the same store, so even
+        # a *changed* config reuses every stage the change left untouched
+        # (see docs/pipeline.md, "Stage memoization").
         from repro.engine.profile import Timer
+        from repro.engine.stagecache import StageCache
         from repro.engine.tasks import SynthesisTask
 
+        stage_cache = StageCache(store)
         task = SynthesisTask(key="synth", core_spec=core_spec,
                              comm_spec=comm_spec, config=config)
         fingerprint = store.fingerprint(task)
         entry = store.get(fingerprint)
         if entry is not None:
-            result = entry.payload
+            payload = entry.payload
+            if isinstance(payload, dict) and "result" in payload:
+                result = payload["result"]
+                tool.last_stage_timings = payload.get("stage_timings")
+            else:
+                # Legacy entry from before timings rode along with the
+                # result; still served, just without a stage breakdown.
+                result = payload
+                tool.last_stage_timings = None
             cached = True
         else:
             with Timer() as timer:
-                result = tool.synthesize(jobs=args.jobs, **supervision)
-            store.put(fingerprint, result, task_type="SynthesisTask",
-                      elapsed_s=timer.elapsed_s)
+                result = tool.synthesize(jobs=args.jobs,
+                                         stage_cache=stage_cache,
+                                         **supervision)
+            store.put(
+                fingerprint,
+                {"result": result,
+                 "stage_timings": tool.last_stage_timings},
+                task_type="SynthesisTask", elapsed_s=timer.elapsed_s,
+            )
     else:
         result = tool.synthesize(jobs=args.jobs, **supervision)
     if tool.last_quarantined:
@@ -332,12 +356,23 @@ def _cmd_synth(args) -> int:
             print(f"  {key}: {message}")
         print()
     if args.stage_timings:
-        if cached:
-            print("per-stage timings unavailable: result served from the "
-                  "cache")
+        timings = tool.last_stage_timings
+        if timings is None:
+            # Only possible for pre-upgrade cache entries that stored the
+            # bare result without its timings.
+            print("per-stage timings unavailable: cache entry predates "
+                  "persisted timings")
         else:
-            print(tool.last_stage_timings.report())
+            if cached:
+                timings.mark_all_cached()
+            print(timings.report())
         print()
+        if stage_cache is not None and stage_cache.stats_dict():
+            from repro.engine.stagecache import format_stage_cache_summary
+
+            print("stage cache:")
+            print(format_stage_cache_summary(stage_cache.stats_dict()))
+            print()
     if result.is_empty:
         print("no valid design points found "
               f"(unmet switch counts: {result.unmet_switch_counts})")
@@ -395,7 +430,14 @@ def _cmd_sweep(args) -> int:
         alphas=_parse_values(args.alphas, float, "alpha"),
         link_widths_bits=_parse_values(args.widths, int, "width"),
     )
-    tasks = build_tasks(core_spec, comm_spec, grid, config)
+    # With a store, also arm per-stage memoization in the workers (same
+    # directory/salt): neighbouring grid points share every stage their
+    # parameters don't touch.
+    tasks = build_tasks(
+        core_spec, comm_spec, grid, config,
+        stage_cache_dir=str(store.root) if store is not None else None,
+        stage_cache_salt=store.salt if store is not None else None,
+    )
     progress = None
     if not args.quiet:
         def progress(done, total, key):
@@ -428,6 +470,19 @@ def _cmd_sweep(args) -> int:
     if quarantined:
         print(f"\n{quarantined} of {len(results)} point(s) quarantined "
               "(crashed or timed out); see rows above")
+    if store is not None and not args.quiet:
+        from repro.engine.stagecache import (
+            format_stage_cache_summary, merge_stage_stats,
+        )
+
+        print(f"\nstore: {store.hits} hit(s), {store.misses} miss(es)")
+        stage_stats: dict = {}
+        for task_result in results:
+            if task_result.stage_cache:
+                merge_stage_stats(stage_stats, task_result.stage_cache)
+        if stage_stats:
+            print("stage cache:")
+            print(format_stage_cache_summary(stage_stats))
     if best is None:
         print("\nno valid design points anywhere in the grid")
         return 1
@@ -471,6 +526,8 @@ def _cmd_sim(args) -> int:
     )
     print()
     table.print_table()
+    if store is not None and not args.quiet:
+        print(f"\nstore: {store.hits} hit(s), {store.misses} miss(es)")
     return 0
 
 
@@ -483,6 +540,7 @@ def _cmd_bench(args) -> int:
     )
     sweep = report["sweep"]
     cache = report["cache"]
+    stage_cache = report["stage_cache"]
     paths = report["compute_paths"]
     floorplan = report["floorplan"]
     simulator = report["simulator"]
@@ -490,6 +548,7 @@ def _cmd_bench(args) -> int:
         f"\nsummary: sweep speedup {sweep['speedup']}x on {sweep['jobs']} "
         f"worker(s) ({report['cpu_count']} CPU(s) visible), "
         f"warm-cache speedup {cache['speedup']}x, "
+        f"warm-adjacent stage-cache speedup {stage_cache['speedup']}x, "
         f"compute_paths speedup {paths['speedup']}x, "
         f"floorplan anneal speedup {floorplan['speedup']}x "
         f"({floorplan['incremental_moves_per_s']:,.0f} moves/s), "
@@ -519,8 +578,16 @@ def _cmd_cache(args) -> int:
         stats = store.stats()
         print(f"store: {stats.root}")
         print(f"entries: {stats.entries} ({_fmt_bytes(stats.total_bytes)})")
+        stage_types = [t for t in sorted(stats.by_task_type)
+                       if t.startswith("stage:")]
         for task_type in sorted(stats.by_task_type):
-            print(f"  {task_type}: {stats.by_task_type[task_type]}")
+            if task_type not in stage_types:
+                print(f"  {task_type}: {stats.by_task_type[task_type]}")
+        if stage_types:
+            print("  stage records (per-stage memoization):")
+            for task_type in stage_types:
+                name = task_type[len("stage:"):]
+                print(f"    {name}: {stats.by_task_type[task_type]}")
         return 0
     if args.action == "verify":
         report = store.verify(repair=args.repair)

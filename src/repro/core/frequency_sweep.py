@@ -53,10 +53,15 @@ class FrequencySweepResult:
     ``quarantined`` maps frequencies whose point was lost to supervision
     (worker crash, deadline expiry) under ``on_error="quarantine"`` to the
     error message; those frequencies are absent from ``per_frequency``.
+
+    ``stage_cache`` aggregates the per-stage hit/miss/bytes counters of a
+    stage-cached sweep (``{stage: {hits, misses, ...}}``, empty when stage
+    caching was off — see :mod:`repro.engine.stagecache`).
     """
 
     per_frequency: Dict[float, SynthesisResult] = field(default_factory=dict)
     quarantined: Dict[float, str] = field(default_factory=dict)
+    stage_cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def frequencies(self) -> List[float]:
@@ -114,6 +119,8 @@ def sweep_frequencies(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    stage_cache_dir: Optional[str] = None,
+    stage_cache_salt: Optional[str] = None,
 ) -> FrequencySweepResult:
     """Run the synthesis flow once per frequency (in parallel for jobs != 1).
 
@@ -124,6 +131,11 @@ def sweep_frequencies(
     / ``on_error`` are the engine's supervision knobs (see
     :func:`repro.engine.run_tasks`); under ``on_error="quarantine"`` lost
     points land in ``FrequencySweepResult.quarantined``.
+
+    ``stage_cache_dir`` (usually the store directory) arms per-stage
+    memoization: only the frequency-sensitive stages re-run per point,
+    everything else is served from disk with bit-identical results; the
+    per-stage counters land in ``FrequencySweepResult.stage_cache``.
     """
     freqs = [float(f) for f in frequencies_mhz]
     bad = [f for f in freqs if f <= 0]
@@ -136,6 +148,7 @@ def sweep_frequencies(
     tasks = build_tasks(
         core_spec, comm_spec, ParameterGrid(frequencies_mhz=tuple(freqs)),
         base, library,
+        stage_cache_dir=stage_cache_dir, stage_cache_salt=stage_cache_salt,
     )
     results = run_tasks(
         tasks, jobs=jobs, progress=progress, store=store,
@@ -147,6 +160,10 @@ def sweep_frequencies(
             sweep.quarantined[freq] = str(task_result.error)
         else:
             sweep.per_frequency[freq] = task_result.result
+        if task_result.stage_cache:
+            from repro.engine.stagecache import merge_stage_stats
+
+            merge_stage_stats(sweep.stage_cache, task_result.stage_cache)
     return sweep
 
 
@@ -163,6 +180,8 @@ def sweep_alpha(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    stage_cache_dir: Optional[str] = None,
+    stage_cache_salt: Optional[str] = None,
 ) -> Dict[float, SynthesisResult]:
     """Sweep the PG weight parameter α of Def. 3.
 
@@ -179,6 +198,7 @@ def sweep_alpha(
     tasks = build_tasks(
         core_spec, comm_spec, ParameterGrid(alphas=tuple(values)),
         base, library, skip_infeasible=False,
+        stage_cache_dir=stage_cache_dir, stage_cache_salt=stage_cache_salt,
     )
     results = run_tasks(
         tasks, jobs=jobs, progress=progress, store=store,
@@ -204,6 +224,8 @@ def sweep_link_widths(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    stage_cache_dir: Optional[str] = None,
+    stage_cache_salt: Optional[str] = None,
 ) -> Dict[int, SynthesisResult]:
     """Sweep the link data width (an architectural parameter of Sec. IV).
 
@@ -225,6 +247,7 @@ def sweep_link_widths(
     tasks = build_tasks(
         core_spec, comm_spec, ParameterGrid(link_widths_bits=tuple(widths)),
         base, library,
+        stage_cache_dir=stage_cache_dir, stage_cache_salt=stage_cache_salt,
     )
     results = run_tasks(
         tasks, jobs=jobs, progress=progress, store=store,
@@ -250,12 +273,15 @@ def find_lowest_feasible_frequency(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    stage_cache_dir: Optional[str] = None,
+    stage_cache_salt: Optional[str] = None,
 ) -> float:
     """The smallest swept frequency with at least one valid design point."""
     sweep = sweep_frequencies(
         core_spec, comm_spec, sorted(frequencies_mhz), library, config,
         jobs=jobs, progress=progress, store=store,
         retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
+        stage_cache_dir=stage_cache_dir, stage_cache_salt=stage_cache_salt,
     )
     for freq in sweep.frequencies:
         if sweep.per_frequency[freq].points:

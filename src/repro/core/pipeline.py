@@ -140,8 +140,15 @@ class CandidateState:
     point: Optional[DesignPoint] = None
     failed_stage: Optional[str] = None
     failure_reason: str = ""
-    #: Wall-clock seconds spent in each executed stage.
+    #: Wall-clock seconds spent in each executed stage. For stages served
+    #: from a stage cache this is the *original* execution time, replayed
+    #: from the cached entry so warm runs still report timings.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Names of stages whose results were served from a stage cache.
+    cached_stages: List[str] = field(default_factory=list)
+    #: Per-stage content fingerprints (``None`` = uncacheable), recorded
+    #: only when evaluating under a stage cache; diagnostic and test hook.
+    stage_fingerprints: Dict[str, Optional[str]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -153,6 +160,7 @@ class CandidateState:
             failed_stage=self.failed_stage,
             failure_reason=self.failure_reason,
             stage_seconds=dict(self.stage_seconds),
+            cached_stages=tuple(self.cached_stages),
         )
 
 
@@ -164,6 +172,7 @@ class CandidateOutcome:
     failed_stage: Optional[str] = None
     failure_reason: str = ""
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cached_stages: Tuple[str, ...] = ()
 
 
 class StageFailure(Exception):
@@ -175,22 +184,43 @@ class StageFailure(Exception):
 # --------------------------------------------------------------------------
 
 class StageTimings:
-    """Per-stage wall-clock accumulator (sample list per stage name)."""
+    """Per-stage wall-clock accumulator (sample list per stage name).
+
+    Samples served from a stage cache are counted separately: their
+    seconds are the *original* execution times replayed from the cached
+    entries, and :meth:`report`/:meth:`as_dict` surface how many of each
+    stage's calls were cached (the ``(cached)`` column only appears when
+    at least one sample was).
+    """
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[float]] = {}
         self._order: List[str] = []
+        self._cached: Dict[str, int] = {}
 
-    def add(self, name: str, seconds: float) -> None:
+    def add(self, name: str, seconds: float, *, cached: bool = False) -> None:
         if name not in self._samples:
             self._samples[name] = []
             self._order.append(name)
         self._samples[name].append(seconds)
+        if cached:
+            self._cached[name] = self._cached.get(name, 0) + 1
 
-    def merge(self, stage_seconds: Mapping[str, float]) -> None:
-        """Fold one candidate's ``{stage: seconds}`` dict (worker results)."""
+    def merge(
+        self,
+        stage_seconds: Mapping[str, float],
+        cached: Sequence[str] = (),
+    ) -> None:
+        """Fold one candidate's ``{stage: seconds}`` dict (worker results);
+        ``cached`` names the stages served from a stage cache."""
+        cached_set = set(cached)
         for name, seconds in stage_seconds.items():
-            self.add(name, seconds)
+            self.add(name, seconds, cached=name in cached_set)
+
+    def mark_all_cached(self) -> None:
+        """Flag every sample as cache-served (whole-run replay)."""
+        for name in self._order:
+            self._cached[name] = len(self._samples[name])
 
     @property
     def names(self) -> List[str]:
@@ -199,37 +229,56 @@ class StageTimings:
     def count(self, name: str) -> int:
         return len(self._samples.get(name, ()))
 
+    def cached_count(self, name: str) -> int:
+        return self._cached.get(name, 0)
+
     def total_s(self, name: str) -> float:
         return sum(self._samples.get(name, ()))
 
+    @property
+    def any_cached(self) -> bool:
+        return any(self._cached.values())
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        return {
-            name: {
+        doc = {}
+        for name in self._order:
+            row = {
                 "total_s": round(self.total_s(name), 6),
                 "count": self.count(name),
                 "mean_ms": round(
                     1000.0 * self.total_s(name) / max(self.count(name), 1), 3
                 ),
             }
-            for name in self._order
-        }
+            # Only present when stage caching was in play, so uncached
+            # runs keep their historical document shape.
+            if self.cached_count(name):
+                row["cached"] = self.cached_count(name)
+            doc[name] = row
+        return doc
 
     def report(self) -> str:
         """An aligned plain-text per-stage breakdown."""
-        rows = [("stage", "calls", "total s", "mean ms")]
+        with_cached = self.any_cached
+        rows = [("stage", "calls", "total s", "mean ms")
+                + (("cached",) if with_cached else ())]
         for name in self._order:
-            rows.append((
+            row = (
                 name,
                 str(self.count(name)),
                 f"{self.total_s(name):.3f}",
                 f"{1000.0 * self.total_s(name) / max(self.count(name), 1):.2f}",
-            ))
-        widths = [max(len(r[c]) for r in rows) for c in range(4)]
+            )
+            if with_cached:
+                cached = self.cached_count(name)
+                row += (f"({cached} cached)" if cached else "-",)
+            rows.append(row)
+        ncols = len(rows[0])
+        widths = [max(len(r[c]) for r in rows) for c in range(ncols)]
         lines = ["per-stage timings:"]
         for i, row in enumerate(rows):
             lines.append(
                 "  " + row[0].ljust(widths[0]) + "  "
-                + "  ".join(row[c].rjust(widths[c]) for c in range(1, 4))
+                + "  ".join(row[c].rjust(widths[c]) for c in range(1, ncols))
             )
             if i == 0:
                 lines.append("  " + "  ".join("-" * w for w in widths))
@@ -248,9 +297,38 @@ class Stage:
     candidate. Stages must be stateless (or carry only immutable
     configuration) and defined at module top level so they pickle across
     the ``jobs=N`` process-pool boundary.
+
+    Cacheable stages additionally declare their **input signature** — the
+    exact subset of :class:`FlowContext` / :class:`SynthesisConfig` /
+    :class:`CandidateState` fields :meth:`run` reads — plus the state
+    fields it writes and a per-stage code-version :attr:`salt`. The
+    :class:`repro.engine.stagecache.StageCache` layer fingerprints these
+    inputs (through the canonical store encoder) to serve a stage's
+    outputs from disk at any design point whose inputs hash identically.
+    Declarations must never *under*-report reads — a missing input means
+    silently-stale hits; over-reporting only costs hit rate. Bump
+    :attr:`salt` whenever :meth:`run`'s behaviour changes
+    (``tools/check_stage_salts.py`` enforces this), which invalidates the
+    stage and every downstream stage. See ``docs/pipeline.md``.
     """
 
     name: str = ""
+    #: Code-version salt: bump on any behavioural change to :meth:`run`.
+    salt: str = "v1"
+    #: Only stages that opt in are memoised; custom stages default off so
+    #: an undeclared input can never cause a stale hit.
+    cacheable: bool = False
+    #: :class:`FlowContext` fields :meth:`run` reads.
+    context_inputs: Tuple[str, ...] = ()
+    #: :class:`SynthesisConfig` fields :meth:`run` reads; the string
+    #: ``"*"`` declares the whole config object (used when the config
+    #: itself lands in the stage's output, e.g. inside a DesignPoint).
+    config_inputs: Union[Tuple[str, ...], str] = ()
+    #: :class:`CandidateState` fields :meth:`run` reads.
+    state_inputs: Tuple[str, ...] = ()
+    #: :class:`CandidateState` fields :meth:`run` writes or mutates;
+    #: replayed from the cached record on a hit.
+    state_outputs: Tuple[str, ...] = ()
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         raise NotImplementedError
@@ -268,11 +346,38 @@ def register_stage(cls: Type[Stage]) -> Type[Stage]:
     return cls
 
 
+#: The :class:`SynthesisConfig` fields read by the skeleton/routing path
+#: machinery (``repro.core.paths``). Frequency and link width shape link
+#: capacity; the rest are pruning/routing policy. Floorplan-only knobs
+#: (seed, restarts, search radius) are deliberately absent, so a
+#: ``--floorplan-restarts`` bump reuses every upstream stage verbatim.
+_PATHS_CONFIG_INPUTS: Tuple[str, ...] = (
+    "frequency_mhz",
+    "link_width_bits",
+    "max_ill",
+    "adjacent_layer_links_only",
+    "use_soft_thresholds",
+    "soft_ill_margin",
+    "soft_switch_margin",
+    "soft_inf_factor",
+    "utilisation_cap",
+    "deadlock_retries",
+    "flow_order",
+    "allow_indirect_switches",
+)
+
+
 @register_stage
 class IllPrecheckStage(Stage):
     """Pruning rule 3 (Sec. V-C): core links alone must respect max_ill."""
 
     name = "precheck"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("graph",)
+    config_inputs = ("max_ill",)
+    state_inputs = ("assignment",)
+    state_outputs = ()
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         if violates_ill_precheck(state.assignment, ctx.graph, ctx.config.max_ill):
@@ -286,6 +391,12 @@ class SkeletonStage(Stage):
     """Materialise the topology skeleton and apply the pruning rules."""
 
     name = "skeleton"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("graph", "library", "core_centers")
+    config_inputs = _PATHS_CONFIG_INPUTS
+    state_inputs = ("assignment",)
+    state_outputs = ("topology",)
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         try:
@@ -302,6 +413,13 @@ class RoutingStage(Stage):
     """Deadlock-free, constraint-respecting paths (Sec. VI / Algorithm 3)."""
 
     name = "routing"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("graph", "library", "core_centers")
+    config_inputs = _PATHS_CONFIG_INPUTS
+    state_inputs = ("topology",)
+    # compute_paths mutates the topology in place (routes, utilisation).
+    state_outputs = ("topology",)
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         try:
@@ -318,6 +436,13 @@ class PlacementLPStage(Stage):
     """Optimise switch positions with the Sec. VII LP."""
 
     name = "placement_lp"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("core_centers", "die_bounds")
+    config_inputs = ()
+    state_inputs = ("topology",)
+    # Switch positions are written back onto the topology's switches.
+    state_outputs = ("topology",)
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         die_w, die_h = ctx.die_bounds
@@ -363,6 +488,19 @@ class FloorplanStage(Stage):
     recompute positions and wire lengths from the final placement."""
 
     name = "floorplan"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("core_spec", "library")
+    config_inputs = (
+        "seed",
+        "search_radius_mm",
+        "grid_step_mm",
+        "floorplanner",
+        "floorplan_restarts",
+        "link_width_bits",  # sizes the TSV macro stacks
+    )
+    state_inputs = ("topology",)
+    state_outputs = ("topology", "floorplan", "final_centers")
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         floorplan = self._insert_noc(ctx, state.topology)
@@ -445,6 +583,12 @@ class LatencyVerifyStage(Stage):
     """Re-check every flow's latency constraint on final wire lengths."""
 
     name = "verify"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("graph", "library")
+    config_inputs = ()
+    state_inputs = ("topology",)
+    state_outputs = ()
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         for (src, dst), flow in ctx.graph.edges.items():
@@ -463,6 +607,15 @@ class MetricsStage(Stage):
     """Evaluate power / latency / area and emit the design point."""
 
     name = "metrics"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("library",)
+    # The whole config lands inside the emitted DesignPoint, so any config
+    # change (beyond the store-level __fingerprint_exclude__ fields) must
+    # re-run metrics for the cached point to stay bit-identical.
+    config_inputs = "*"
+    state_inputs = ("assignment", "topology", "final_centers", "floorplan")
+    state_outputs = ("point",)
 
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         metrics = compute_metrics(
@@ -544,10 +697,50 @@ class Pipeline:
         ctx: FlowContext,
         assignment: Assignment,
         timings: Optional[StageTimings] = None,
+        stage_cache=None,
     ) -> CandidateState:
-        """Run every stage on a fresh state; stop at the first rejection."""
+        """Run every stage on a fresh state; stop at the first rejection.
+
+        With a ``stage_cache`` (:class:`repro.engine.stagecache.StageCache`)
+        each stage is first looked up under the fingerprint of its declared
+        inputs plus the upstream signature chain: a hit replays the
+        recorded outputs (including a recorded :class:`StageFailure`
+        rejection) instead of running the stage, crediting the *original*
+        execution time to ``stage_seconds``/``timings`` with a cached
+        marker; a miss runs the stage and checkpoints its outputs. Hard
+        (non-:class:`StageFailure`) errors propagate without caching.
+        """
         state = CandidateState(assignment=assignment)
+        chain: List[object] = []
+        # ``state field -> fingerprint of the stage that last wrote it``;
+        # downstream fingerprints fold in the producer fingerprint instead
+        # of re-hashing the (large) value itself.
+        provenance: Dict[str, str] = {}
         for stage in self.stages:
+            fingerprint = None
+            if stage_cache is not None:
+                fingerprint = stage_cache.fingerprint(
+                    stage, chain, ctx, state, provenance
+                )
+                state.stage_fingerprints[stage.name] = fingerprint
+                chain.append(stage_cache.signature(stage))
+                if fingerprint is not None:
+                    hit = stage_cache.load(stage, fingerprint)
+                    if hit is not None:
+                        record, recorded_s = hit
+                        record.apply(state)
+                        state.cached_stages.append(stage.name)
+                        state.stage_seconds[stage.name] = (
+                            state.stage_seconds.get(stage.name, 0.0)
+                            + recorded_s
+                        )
+                        if timings is not None:
+                            timings.add(stage.name, recorded_s, cached=True)
+                        for name in getattr(stage, "state_outputs", ()):
+                            provenance[name] = fingerprint
+                        if state.failed_stage is not None:
+                            break
+                        continue
             start = time.perf_counter()
             try:
                 stage.run(ctx, state)
@@ -561,6 +754,18 @@ class Pipeline:
                 )
                 if timings is not None:
                     timings.add(stage.name, elapsed)
+            if fingerprint is not None:
+                # Deterministic rejections are cached alongside successes
+                # (replaying them is exactly as correct and much cheaper);
+                # hard errors raised out of the try above never reach here.
+                stage_cache.save(stage, fingerprint, state, elapsed)
+                for name in getattr(stage, "state_outputs", ()):
+                    provenance[name] = fingerprint
+            elif stage_cache is not None:
+                # An unfingerprinted stage may have mutated any state field
+                # (opt-out stages declare nothing): downstream stages fall
+                # back to hashing state values directly.
+                provenance.clear()
             if state.failed_stage is not None:
                 break
         return state
@@ -719,12 +924,13 @@ def _make_batch_evaluator(
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
     quarantine_log: Optional[List] = None,
+    stage_cache=None,
 ) -> BatchEvaluator:
     def serial(requests: Sequence[CandidateRequest]) -> List[CandidateOutcome]:
         outcomes: List[CandidateOutcome] = []
         total = len(requests)
         for i, req in enumerate(requests):
-            state = pipeline.evaluate(ctx, req.assignment, timings)
+            state = pipeline.evaluate(ctx, req.assignment, timings, stage_cache)
             outcomes.append(state.outcome())
             if progress is not None:
                 progress(i + 1, total, req.key)
@@ -736,6 +942,10 @@ def _make_batch_evaluator(
     import uuid
 
     context_token = uuid.uuid4().hex
+    if stage_cache is not None:
+        stage_cache_dir, stage_cache_salt = stage_cache.spec()
+    else:
+        stage_cache_dir = stage_cache_salt = None
 
     def parallel(requests: Sequence[CandidateRequest]) -> List[CandidateOutcome]:
         if len(requests) <= 1:
@@ -754,6 +964,8 @@ def _make_batch_evaluator(
                 library=ctx.library,
                 stages=pipeline.stages,
                 context_token=context_token,
+                stage_cache_dir=stage_cache_dir,
+                stage_cache_salt=stage_cache_salt,
             )
             for req in requests
         ]
@@ -784,7 +996,12 @@ def _make_batch_evaluator(
                 outcomes.append(task_result.result)
         if timings is not None:
             for outcome in outcomes:
-                timings.merge(outcome.stage_seconds)
+                timings.merge(outcome.stage_seconds, outcome.cached_stages)
+        if stage_cache is not None:
+            # Worker-side hits/misses land in the parent's counters via the
+            # outcomes (bytes stay worker-local and are reported as 0).
+            for outcome in outcomes:
+                stage_cache.note_remote(outcome)
         return outcomes
 
     return parallel
@@ -801,6 +1018,7 @@ def run_synthesis(
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
     quarantine_log: Optional[List] = None,
+    stage_cache=None,
 ) -> SynthesisResult:
     """Run the configured flow and return all valid design points.
 
@@ -821,12 +1039,17 @@ def run_synthesis(
             error.
         quarantine_log: Optional list collecting ``(key, message)`` pairs
             for candidates lost to supervision.
+        stage_cache: Optional
+            :class:`repro.engine.stagecache.StageCache` memoising
+            individual stage outputs across runs and sweep points (see
+            :meth:`Pipeline.evaluate`). Results stay bit-identical with
+            or without it.
     """
     pipeline = pipeline if pipeline is not None else build_pipeline()
     evaluate_batch = _make_batch_evaluator(
         ctx, pipeline, jobs, progress, timings,
         retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
-        quarantine_log=quarantine_log,
+        quarantine_log=quarantine_log, stage_cache=stage_cache,
     )
     result = SynthesisResult()
     phase = ctx.config.phase

@@ -107,6 +107,7 @@ class SunFloor3D:
         retry=None,
         task_timeout_s: Optional[float] = None,
         on_error: str = "raise",
+        stage_cache=None,
     ) -> SynthesisResult:
         """Run the configured flow and return all valid design points.
 
@@ -119,6 +120,10 @@ class SunFloor3D:
         candidate fan-out (see :func:`repro.engine.run_tasks`); candidates
         lost to supervision under ``on_error="quarantine"`` are recorded
         in ``self.last_quarantined`` as ``(key, message)`` pairs.
+
+        ``stage_cache`` (a :class:`repro.engine.stagecache.StageCache`)
+        memoises individual stage outputs across runs, serving unchanged
+        stages from disk with bit-identical results.
         """
         timings = timings if timings is not None else StageTimings()
         self.last_stage_timings = timings
@@ -133,6 +138,7 @@ class SunFloor3D:
             task_timeout_s=task_timeout_s,
             on_error=on_error,
             quarantine_log=self.last_quarantined,
+            stage_cache=stage_cache,
         )
 
     def evaluate_assignment(self, assignment: Assignment) -> Optional[DesignPoint]:
@@ -157,6 +163,7 @@ def synthesize(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    stage_cache=None,
 ) -> SynthesisResult:
     """Convenience wrapper: build the context and run the staged pipeline."""
     return run_synthesis(
@@ -168,4 +175,5 @@ def synthesize(
         retry=retry,
         task_timeout_s=task_timeout_s,
         on_error=on_error,
+        stage_cache=stage_cache,
     )

@@ -17,6 +17,11 @@ package fans them across a process pool:
   ``run_tasks(..., store=ResultStore(dir))`` serves already-computed points
   from disk and checkpoints new ones incrementally, making campaigns
   resumable;
+* :mod:`repro.engine.stagecache` — per-stage memoization over the store:
+  each pipeline stage declares its input signature, so a sweep re-runs
+  only the stages a parameter change actually invalidates
+  (``build_tasks(..., stage_cache_dir=...)`` /
+  ``synthesize(stage_cache=...)``);
 * :mod:`repro.engine.supervise` — fault tolerance: per-task
   :class:`RetryPolicy` retries, deadline watchdog, poison-task quarantine
   with bounded pool restarts (``run_tasks(..., retry=, task_timeout_s=,
@@ -52,6 +57,12 @@ from repro.engine.executor import ProgressFn, resolve_jobs, run_tasks
 from repro.engine.faults import FaultPlan, FaultSpec, FaultyTask, inject_faults
 from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
 from repro.engine.profile import ProfileRecorder, Timer
+from repro.engine.stagecache import (
+    StageCache,
+    StageRecord,
+    merge_stage_stats,
+    open_stage_cache,
+)
 from repro.engine.store import ResultStore, fingerprint_task, open_store
 from repro.engine.supervise import RetryPolicy
 from repro.engine.tasks import (
@@ -79,6 +90,8 @@ __all__ = [
     "ResultStore",
     "RetryPolicy",
     "SimulationTask",
+    "StageCache",
+    "StageRecord",
     "SupervisionError",
     "SynthesisTask",
     "TaskQuarantinedError",
@@ -88,6 +101,8 @@ __all__ = [
     "build_tasks",
     "fingerprint_task",
     "inject_faults",
+    "merge_stage_stats",
+    "open_stage_cache",
     "open_store",
     "resolve_jobs",
     "run_task",

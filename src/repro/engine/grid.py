@@ -153,6 +153,8 @@ def build_tasks(
     library: Optional[NocLibrary] = None,
     *,
     skip_infeasible: bool = True,
+    stage_cache_dir: Optional[str] = None,
+    stage_cache_salt: Optional[str] = None,
 ) -> List[SynthesisTask]:
     """Expand a grid into engine tasks for one design.
 
@@ -160,6 +162,11 @@ def build_tasks(
     behaviour) a point whose link capacity cannot carry the largest single
     flow is marked ``skip`` and merges as an empty result instead of
     burning a worker on a guaranteed-unroutable design.
+
+    ``stage_cache_dir``/``stage_cache_salt`` arm per-stage memoization
+    (:mod:`repro.engine.stagecache`) in the workers: stages whose inputs
+    repeat across neighbouring grid points are served from disk. Results
+    stay bit-identical; only wall clock changes.
     """
     base = base_config if base_config is not None else SynthesisConfig()
     tasks: List[SynthesisTask] = []
@@ -186,6 +193,8 @@ def build_tasks(
                 library=library,
                 skip=skip,
                 skip_reason=reason,
+                stage_cache_dir=stage_cache_dir,
+                stage_cache_salt=stage_cache_salt,
             )
         )
     return tasks

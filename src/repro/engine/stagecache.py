@@ -1,0 +1,351 @@
+"""Per-stage memoization over the content-addressed result store.
+
+PR 5's :class:`~repro.engine.store.ResultStore` caches whole engine tasks:
+a sweep point either hits entirely or recomputes entirely. This layer
+pushes the same content addressing down to the seven-stage granularity of
+:mod:`repro.core.pipeline` — each :class:`~repro.core.pipeline.Stage`
+declares the exact subset of context/config/state fields it reads plus a
+code-version salt, and :class:`StageCache` fingerprints those inputs
+(through the store's canonical encoder) to file the stage's *outputs* on
+disk. A stage result computed at one sweep point is then served at every
+neighbouring point whose inputs hash identically: a frequency sweep
+re-runs only the frequency-sensitive stages, and a ``--floorplan-restarts``
+bump reuses every upstream stage verbatim.
+
+Invalidation model (see ``docs/pipeline.md`` for the full policy):
+
+* a stage's fingerprint covers its declared **context/config inputs by
+  value**, its **state inputs by provenance** (the fingerprint of the
+  upstream stage that produced each field — equal producers imply equal
+  values, without re-hashing a routed topology per candidate), its own
+  **signature** (class identity, salt, declared field names) and the
+  **signature chain** of every upstream stage in the pipeline — so editing
+  a stage's salt or declarations invalidates exactly that stage *and its
+  downstream dependents*, never its upstream;
+* deterministic :class:`~repro.core.pipeline.StageFailure` rejections are
+  cached and replayed like successes (an expensive routing rejection is
+  exactly as deterministic as a success); hard errors, quarantined and
+  timed-out work never produce records, matching the PR 6 executor
+  semantics;
+* anything unfingerprintable (a custom stage holding a live handle) makes
+  the stage — and, through the chain, its downstream — run uncached,
+  never an error.
+
+Records share the store directory and salt with whole-task caching and are
+filed under ``task_type="stage:<name>"``, so ``cache stats`` / ``verify``
+audit them like any other entry and a ``REPRO_STORE_SALT`` bump retires
+both layers at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.engine.store import ResultStore, _feed, open_store
+from repro.errors import StoreError
+
+#: Record-format tag folded into every stage fingerprint; bump when the
+#: :class:`StageRecord` layout, the fingerprint composition or the replay
+#: semantics change. v2: state inputs hash by producer fingerprint
+#: (provenance) instead of by value.
+STAGE_RECORD_SALT = "stage-record-v2"
+
+
+@dataclasses.dataclass
+class StageRecord:
+    """The replayable outcome of one stage execution."""
+
+    #: The stage's registry name — doubles as a payload sanity check.
+    stage: str
+    #: ``{state field: value}`` snapshot of the stage's declared outputs.
+    outputs: Dict[str, Any]
+    #: Whether the stage rejected the candidate (a StageFailure).
+    failed: bool = False
+    failure_reason: str = ""
+
+    def apply(self, state) -> None:
+        """Replay this record onto a :class:`CandidateState`."""
+        for name, value in self.outputs.items():
+            setattr(state, name, value)
+        if self.failed:
+            state.failed_stage = self.stage
+            state.failure_reason = self.failure_reason
+
+
+@dataclasses.dataclass
+class StageCounter:
+    """Session counters for one stage (hits/misses/bytes)."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+def _stage_signature(stage) -> Tuple[Any, ...]:
+    """What identifies a stage's *code* to the fingerprint: the instance
+    itself (class identity + any instance configuration, via the canonical
+    encoder), its salt and its declared field names."""
+    return (
+        stage.name,
+        getattr(stage, "salt", ""),
+        stage,
+        tuple(getattr(stage, "context_inputs", ())),
+        tuple(getattr(stage, "config_inputs", ()))
+        if not isinstance(getattr(stage, "config_inputs", ()), str)
+        else getattr(stage, "config_inputs"),
+        tuple(getattr(stage, "state_inputs", ())),
+        tuple(getattr(stage, "state_outputs", ())),
+    )
+
+
+class StageCache:
+    """Memoises pipeline stage outputs in a :class:`ResultStore`.
+
+    One instance is threaded through
+    :meth:`repro.core.pipeline.Pipeline.evaluate`; it keeps per-stage
+    session counters (in pipeline execution order) and exposes ``spec()``
+    so the parallel candidate fan-out can reopen an equivalent cache
+    inside worker processes.
+    """
+
+    #: Cap on the memoised per-(stage, context) fingerprint prefixes; the
+    #: memo holds strong references (so ``id()`` keys stay valid), and the
+    #: cap bounds how many contexts a long-lived cache keeps alive.
+    _PREFIX_MEMO_MAX = 64
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+        self.counters: Dict[str, StageCounter] = {}
+        self._prefixes: Dict[Tuple[int, int], Tuple[Any, ...]] = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    def spec(self) -> Tuple[str, str]:
+        """``(directory, salt)`` — enough to reopen this cache elsewhere."""
+        return str(self.store.root), self.store.salt
+
+    def _counter(self, name: str) -> StageCounter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = StageCounter()
+        return counter
+
+    # -- fingerprints -------------------------------------------------------
+
+    def signature(self, stage) -> Tuple[Any, ...]:
+        """The stage's chain element (see :func:`_stage_signature`)."""
+        return _stage_signature(stage)
+
+    def _prefix(self, stage, chain: Tuple[Any, ...], ctx):
+        """A sha256 primed with everything candidates at one sweep point
+        share: salts, the upstream signature chain, the stage's own
+        signature and the declared context/config input *values*. Computed
+        once per (stage, context) pair and ``copy()``-ed per candidate —
+        re-hashing the communication graph and component library for every
+        candidate is what made fingerprinting dominate warm sweeps."""
+        key = (id(stage), id(ctx))
+        memo = self._prefixes.get(key)
+        if (
+            memo is not None
+            and memo[0] is stage
+            and memo[1] is ctx
+            and memo[2] == chain
+        ):
+            return memo[3]
+        h = hashlib.sha256()
+        _feed(h, self.store.salt)
+        _feed(h, STAGE_RECORD_SALT)
+        _feed(h, chain)
+        _feed(h, _stage_signature(stage))
+        for name in stage.context_inputs:
+            _feed(h, name)
+            _feed(h, getattr(ctx, name))
+        if stage.config_inputs == "*":
+            _feed(h, ctx.config)
+        else:
+            for name in stage.config_inputs:
+                _feed(h, name)
+                _feed(h, getattr(ctx.config, name))
+        if len(self._prefixes) >= self._PREFIX_MEMO_MAX:
+            self._prefixes.clear()
+        self._prefixes[key] = (stage, ctx, chain, h)
+        return h
+
+    def fingerprint(
+        self,
+        stage,
+        chain: Sequence[Any],
+        ctx,
+        state,
+        provenance: Optional[Mapping[str, str]] = None,
+    ) -> Optional[str]:
+        """The content address of ``stage``'s output at this point.
+
+        ``chain`` holds the signatures of every upstream stage, so a salt
+        or declaration edit anywhere upstream changes this fingerprint
+        too. State inputs fold in by **provenance** where available: the
+        fingerprint of the stage that produced a field stands in for the
+        field's value — the producer is deterministic, so equal producer
+        fingerprints imply equal values, and the (large) routed topology
+        never needs re-hashing per candidate. Fields with no recorded
+        producer (the initial assignment; anything touched by an uncached
+        stage) hash by value. Returns ``None`` — run uncached — for stages
+        that did not opt in (``cacheable=False``) or whose inputs have no
+        stable representation.
+        """
+        if not getattr(stage, "cacheable", False):
+            return None
+        try:
+            h = self._prefix(stage, tuple(chain), ctx).copy()
+            for name in stage.state_inputs:
+                _feed(h, name)
+                producer = None if provenance is None else provenance.get(name)
+                if producer is not None:
+                    _feed(h, ("produced-by", producer))
+                else:
+                    _feed(h, getattr(state, name))
+            return h.hexdigest()
+        except (StoreError, AttributeError):
+            return None
+
+    # -- record IO ----------------------------------------------------------
+
+    def load(self, stage, fingerprint: str) -> Optional[Tuple[StageRecord, float]]:
+        """Fetch ``(record, original elapsed seconds)``; ``None`` on miss."""
+        counter = self._counter(stage.name)
+        entry = self.store.get(fingerprint)
+        if (
+            entry is None
+            or not isinstance(entry.payload, StageRecord)
+            or entry.payload.stage != stage.name
+        ):
+            counter.misses += 1
+            return None
+        counter.hits += 1
+        counter.bytes_read += self.store.size_of(fingerprint)
+        return entry.payload, entry.elapsed_s
+
+    def save(self, stage, fingerprint: str, state, elapsed_s: float) -> None:
+        """Checkpoint the stage's declared outputs (pickled immediately, so
+        later in-place mutation by downstream stages cannot leak in)."""
+        failed = state.failed_stage == stage.name
+        record = StageRecord(
+            stage=stage.name,
+            outputs={
+                name: getattr(state, name) for name in stage.state_outputs
+            },
+            failed=failed,
+            failure_reason=state.failure_reason if failed else "",
+        )
+        written = self.store.put(
+            fingerprint,
+            record,
+            task_type=f"stage:{stage.name}",
+            elapsed_s=elapsed_s,
+        )
+        self._counter(stage.name).bytes_written += int(written)
+
+    # -- stats --------------------------------------------------------------
+
+    def note_remote(self, outcome) -> None:
+        """Fold one worker-evaluated candidate outcome into the counters.
+
+        Workers open their own cache handles; the parent reconstructs
+        hit/miss counts from each outcome's ``cached_stages`` (bytes stay
+        worker-local and are reported as 0 here).
+        """
+        cached = set(getattr(outcome, "cached_stages", ()) or ())
+        for name in getattr(outcome, "stage_seconds", None) or ():
+            counter = self._counter(name)
+            if name in cached:
+                counter.hits += 1
+            else:
+                counter.misses += 1
+
+    def stats_dict(self) -> Dict[str, Dict[str, int]]:
+        """``{stage: {hits, misses, bytes_read, bytes_written}}`` in first-
+        touch (pipeline) order."""
+        return {
+            name: counter.as_dict() for name, counter in self.counters.items()
+        }
+
+
+def merge_stage_stats(
+    into: Dict[str, Dict[str, int]],
+    stats: Optional[Mapping[str, Mapping[str, int]]],
+) -> Dict[str, Dict[str, int]]:
+    """Accumulate one ``stats_dict()``-shaped mapping into ``into``."""
+    for name, row in (stats or {}).items():
+        merged = into.setdefault(
+            name, {"hits": 0, "misses": 0, "bytes_read": 0, "bytes_written": 0}
+        )
+        for key, value in row.items():
+            merged[key] = merged.get(key, 0) + int(value)
+    return into
+
+
+def format_stage_cache_summary(
+    stats: Mapping[str, Mapping[str, int]], *, indent: str = "  "
+) -> str:
+    """An aligned per-stage hit/miss/bytes table for CLI summaries."""
+    rows = [("stage", "hits", "misses", "read", "written")]
+    totals = {"hits": 0, "misses": 0, "bytes_read": 0, "bytes_written": 0}
+    for name, row in stats.items():
+        for key in totals:
+            totals[key] += int(row.get(key, 0))
+        rows.append((
+            name,
+            str(row.get("hits", 0)),
+            str(row.get("misses", 0)),
+            _human_bytes(row.get("bytes_read", 0)),
+            _human_bytes(row.get("bytes_written", 0)),
+        ))
+    rows.append((
+        "total",
+        str(totals["hits"]),
+        str(totals["misses"]),
+        _human_bytes(totals["bytes_read"]),
+        _human_bytes(totals["bytes_written"]),
+    ))
+    widths = [max(len(r[c]) for r in rows) for c in range(5)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            indent + row[0].ljust(widths[0]) + "  "
+            + "  ".join(row[c].rjust(widths[c]) for c in range(1, 5))
+        )
+        if i == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{int(n)}B"
+
+
+def open_stage_cache(
+    cache_dir: Optional[Union[str, Path]] = None,
+    *,
+    salt: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+) -> StageCache:
+    """Open a stage cache over the store at ``cache_dir`` (see
+    :func:`repro.engine.store.open_store` for the fallbacks)."""
+    return StageCache(open_store(cache_dir, salt=salt, max_bytes=max_bytes))

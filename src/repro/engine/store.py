@@ -452,8 +452,9 @@ class ResultStore:
         *,
         task_type: str = "",
         elapsed_s: float = 0.0,
-    ) -> bool:
-        """Write one entry atomically; returns whether anything was stored.
+    ) -> int:
+        """Write one entry atomically; returns the bytes written (0/False
+        when nothing was stored, so the result still reads as a boolean).
 
         The record — a small metadata header frame followed by the payload
         frame, so ``stats``/``verify`` can read metadata without
@@ -507,10 +508,19 @@ class ResultStore:
                 self._approx_bytes += new_size - old_size
             if self._approx_bytes > self.max_bytes:
                 self.evict(protect=path)
-        return True
+        return new_size
 
     def contains(self, fingerprint: Optional[str]) -> bool:
         return fingerprint is not None and self._path(fingerprint).exists()
+
+    def size_of(self, fingerprint: Optional[str]) -> int:
+        """On-disk bytes of one entry; 0 when absent (or unstattable)."""
+        if fingerprint is None:
+            return 0
+        try:
+            return self._path(fingerprint).stat().st_size
+        except OSError:
+            return 0
 
     # -- maintenance --------------------------------------------------------
 

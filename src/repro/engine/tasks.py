@@ -64,7 +64,17 @@ class SynthesisTask:
         skip: Pre-determined infeasible point — the engine returns an empty
             result without running synthesis.
         skip_reason: Human-readable note for reports/logs.
+        stage_cache_dir / stage_cache_salt: Optional per-stage memoization
+            (see :mod:`repro.engine.stagecache`): the worker opens a
+            :class:`~repro.engine.stagecache.StageCache` at this directory
+            and serves/checkpoints individual pipeline stages. Excluded
+            from the task fingerprint — results are bit-identical with or
+            without it.
     """
+
+    #: Results-invariant knobs: where stage results are memoised must not
+    #: split the whole-task cache.
+    __fingerprint_exclude__ = ("stage_cache_dir", "stage_cache_salt")
 
     key: Hashable
     core_spec: CoreSpec
@@ -74,6 +84,8 @@ class SynthesisTask:
     stages: Optional[Tuple] = None
     skip: bool = False
     skip_reason: str = ""
+    stage_cache_dir: Optional[str] = None
+    stage_cache_salt: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +97,8 @@ class CandidateTask:
     be defined at module top level (see :class:`repro.core.pipeline.Stage`).
     """
 
+    __fingerprint_exclude__ = ("stage_cache_dir", "stage_cache_salt")
+
     key: Hashable
     core_spec: CoreSpec
     comm_spec: CommSpec
@@ -95,6 +109,10 @@ class CandidateTask:
     #: Parent-generated token identifying the run's FlowContext; candidate
     #: tasks sharing a token share the rebuilt context in the worker.
     context_token: Optional[str] = None
+    #: Per-stage memoization spec (see :class:`SynthesisTask`); the worker
+    #: memoises one cache handle per (dir, salt) across candidates.
+    stage_cache_dir: Optional[str] = None
+    stage_cache_salt: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -189,6 +207,12 @@ class TaskResult:
     worker-side formatted traceback of ``error`` — exceptions crossing the
     pickle boundary lose ``__traceback__``, so this string is the only
     record of *where* a remote failure happened.
+
+    ``stage_cache`` carries the per-stage hit/miss/bytes counters of a
+    stage-cached :class:`SynthesisTask` (a ``stats_dict()`` mapping, see
+    :class:`~repro.engine.stagecache.StageCache`) so sweep summaries can
+    aggregate them; it lives on the *result envelope*, never inside the
+    cached payload, keeping warm and cold payloads bit-identical.
     """
 
     key: Hashable
@@ -199,6 +223,7 @@ class TaskResult:
     cached: bool = False
     attempts: int = 1
     traceback: Optional[str] = None
+    stage_cache: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -262,17 +287,28 @@ def _attempt_task(task) -> TaskResult:
 
         return TaskResult(key=task.key, result=SynthesisResult(), skipped=True)
 
+    stage_stats: dict = {}
+
     def body():
         from repro.core.pipeline import build_pipeline
         from repro.core.synthesis import synthesize
 
         pipeline = build_pipeline(task.stages) if task.stages else None
-        return synthesize(
+        # A fresh handle per task: its counters then *are* this point's
+        # stage-cache stats (open cost is trivial next to a synthesis).
+        stage_cache = _fresh_stage_cache(task)
+        result = synthesize(
             task.core_spec, task.comm_spec, task.library, task.config,
-            pipeline=pipeline,
+            pipeline=pipeline, stage_cache=stage_cache,
         )
+        if stage_cache is not None:
+            stage_stats.update(stage_cache.stats_dict())
+        return result
 
-    return _timed_task(task.key, body)
+    task_result = _timed_task(task.key, body)
+    if stage_stats:
+        task_result.stage_cache = dict(stage_stats)
+    return task_result
 
 
 def _timed_task(key, fn) -> TaskResult:
@@ -345,9 +381,45 @@ def _run_candidate_task(task: CandidateTask) -> TaskResult:
 
         ctx = _candidate_context(task)
         pipeline = build_pipeline(task.stages)
-        return pipeline.evaluate(ctx, task.assignment).outcome()
+        return pipeline.evaluate(
+            ctx, task.assignment, stage_cache=_shared_stage_cache(task)
+        ).outcome()
 
     return _timed_task(task.key, body)
+
+
+#: Per-process stage-cache handles, memoised by (directory, salt) so
+#: consecutive candidate tasks of one run share a handle; a failed open is
+#: memoised too (as None) so an unusable cache directory costs one attempt,
+#: not one per candidate.
+_STAGE_CACHE_HANDLES: dict = {}
+
+
+def _fresh_stage_cache(task):
+    """A new worker-side :class:`StageCache`, or ``None`` (no spec on the
+    task, or an unusable directory — the task then runs uncached)."""
+    cache_dir = getattr(task, "stage_cache_dir", None)
+    if cache_dir is None:
+        return None
+    from repro.engine.stagecache import open_stage_cache
+    from repro.errors import StoreError
+
+    try:
+        return open_stage_cache(
+            cache_dir, salt=getattr(task, "stage_cache_salt", None)
+        )
+    except StoreError:
+        return None
+
+
+def _shared_stage_cache(task):
+    cache_dir = getattr(task, "stage_cache_dir", None)
+    if cache_dir is None:
+        return None
+    key = (cache_dir, getattr(task, "stage_cache_salt", None))
+    if key not in _STAGE_CACHE_HANDLES:
+        _STAGE_CACHE_HANDLES[key] = _fresh_stage_cache(task)
+    return _STAGE_CACHE_HANDLES[key]
 
 
 #: Single-slot per-process context cache: consecutive candidate tasks of one

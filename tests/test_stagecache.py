@@ -1,0 +1,379 @@
+"""Per-stage memoization: fingerprint properties, invalidation scoping,
+warm/cold bit-identity and failure-caching semantics
+(:mod:`repro.engine.stagecache` + the :mod:`repro.core.pipeline` threading).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.frequency_sweep import sweep_frequencies
+from repro.core.phase1 import phase1_candidate
+from repro.core.pipeline import (
+    DEFAULT_STAGE_NAMES,
+    FlowContext,
+    Pipeline,
+    PlacementLPStage,
+    RoutingStage,
+    Stage,
+    StageFailure,
+    StageTimings,
+    build_pipeline,
+)
+from repro.core.synthesis import synthesize
+from repro.engine.stagecache import (
+    StageCache,
+    format_stage_cache_summary,
+    merge_stage_stats,
+    open_stage_cache,
+)
+from repro.noc.export import design_point_to_dict
+
+CONFIG = SynthesisConfig(max_ill=10, switch_count_range=(2, 3))
+
+
+@pytest.fixture
+def ctx(tiny_specs):
+    core_spec, comm_spec = tiny_specs
+    return FlowContext.build(core_spec, comm_spec, config=CONFIG)
+
+
+@pytest.fixture
+def ok_assignment(ctx):
+    """A candidate that survives the full default pipeline."""
+    pipeline = build_pipeline()
+    for count in range(2, 6):
+        assignment = phase1_candidate(ctx.graph, ctx.config, count)
+        if pipeline.evaluate(ctx, assignment).ok:
+            return assignment
+    raise AssertionError("no switch count in 2..5 yields a valid candidate")
+
+
+def _cache(tmp_path, name="stages"):
+    return open_stage_cache(tmp_path / name)
+
+
+def _with_config(ctx, config):
+    return dataclasses.replace(ctx, config=config)
+
+
+class TestFingerprintProperties:
+    """The stated invariants of stage fingerprints (satellite 3)."""
+
+    def test_dict_field_order_invariance(self, ctx, ok_assignment, tmp_path):
+        """Reordering the core_centers dict must not move any fingerprint:
+        the canonical encoder hashes dicts in sorted-key order."""
+        pipeline = build_pipeline()
+        cache = _cache(tmp_path)
+        first = pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        reordered = dataclasses.replace(
+            ctx,
+            core_centers=dict(reversed(list(ctx.core_centers.items()))),
+        )
+        second = pipeline.evaluate(
+            reordered, ok_assignment, stage_cache=cache
+        )
+        assert first.stage_fingerprints == second.stage_fingerprints
+        assert all(
+            fp is not None for fp in first.stage_fingerprints.values()
+        )
+        # ... and identical fingerprints mean the rerun was served entirely
+        # from the cache.
+        assert second.cached_stages == list(DEFAULT_STAGE_NAMES)
+
+    def test_unaffected_field_touches_only_metrics(
+        self, ctx, ok_assignment, tmp_path
+    ):
+        """The metrics objective enters no upstream stage's inputs, so
+        flipping it re-fingerprints metrics and nothing else."""
+        pipeline = build_pipeline()
+        cache = _cache(tmp_path)
+        base = pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        assert base.ok
+        adjacent = pipeline.evaluate(
+            _with_config(ctx, ctx.config.with_(objective="latency")),
+            ok_assignment,
+            stage_cache=cache,
+        )
+        for name in DEFAULT_STAGE_NAMES:
+            if name == "metrics":
+                assert (base.stage_fingerprints[name]
+                        != adjacent.stage_fingerprints[name])
+            else:
+                assert (base.stage_fingerprints[name]
+                        == adjacent.stage_fingerprints[name])
+        # Every stage but the invalidated one replays from disk.
+        assert adjacent.cached_stages == [
+            n for n in DEFAULT_STAGE_NAMES if n != "metrics"
+        ]
+        assert cache.counters["metrics"].misses == 2
+
+    def test_floorplan_knob_reuses_every_upstream_stage(
+        self, ctx, ok_assignment, tmp_path
+    ):
+        """A floorplan-only knob (seed here; restarts behaves identically)
+        leaves precheck/skeleton/routing/placement_lp untouched."""
+        pipeline = build_pipeline()
+        cache = _cache(tmp_path)
+        base = pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        bumped = pipeline.evaluate(
+            _with_config(ctx, ctx.config.with_(seed=1234)),
+            ok_assignment,
+            stage_cache=cache,
+        )
+        upstream = ("precheck", "skeleton", "routing", "placement_lp")
+        for name in upstream:
+            assert (base.stage_fingerprints[name]
+                    == bumped.stage_fingerprints[name])
+        assert (base.stage_fingerprints["floorplan"]
+                != bumped.stage_fingerprints["floorplan"])
+        assert all(name in bumped.cached_stages for name in upstream)
+
+    def test_salt_bump_invalidates_stage_and_downstream_only(
+        self, ctx, ok_assignment, tmp_path
+    ):
+        cache = _cache(tmp_path)
+        base = build_pipeline().evaluate(
+            ctx, ok_assignment, stage_cache=cache
+        )
+        bumped_stage = RoutingStage()
+        bumped_stage.salt = "v2-test"
+        bumped = build_pipeline(
+            overrides={"routing": bumped_stage}
+        ).evaluate(ctx, ok_assignment, stage_cache=cache)
+        for name in ("precheck", "skeleton"):
+            assert (base.stage_fingerprints[name]
+                    == bumped.stage_fingerprints[name])
+        for name in ("routing", "placement_lp", "floorplan", "verify",
+                     "metrics"):
+            assert (base.stage_fingerprints[name]
+                    != bumped.stage_fingerprints[name])
+
+    def test_declaration_edit_invalidates_stage_and_downstream_only(
+        self, ctx, ok_assignment, tmp_path
+    ):
+        cache = _cache(tmp_path)
+        base = build_pipeline().evaluate(
+            ctx, ok_assignment, stage_cache=cache
+        )
+        widened_stage = PlacementLPStage()
+        widened_stage.context_inputs = ("core_centers", "die_bounds", "graph")
+        widened = build_pipeline(
+            overrides={"placement_lp": widened_stage}
+        ).evaluate(ctx, ok_assignment, stage_cache=cache)
+        for name in ("precheck", "skeleton", "routing"):
+            assert (base.stage_fingerprints[name]
+                    == widened.stage_fingerprints[name])
+        for name in ("placement_lp", "floorplan", "verify", "metrics"):
+            assert (base.stage_fingerprints[name]
+                    != widened.stage_fingerprints[name])
+
+
+class TestWarmIdentity:
+    """Warm stage-cached runs must be bit-identical to cold ones."""
+
+    def test_synthesize_warm_bit_identical(self, tiny_specs, tmp_path):
+        core_spec, comm_spec = tiny_specs
+        cold_cache = _cache(tmp_path)
+        cold = synthesize(
+            core_spec, comm_spec, config=CONFIG, stage_cache=cold_cache
+        )
+        plain = synthesize(core_spec, comm_spec, config=CONFIG)
+        warm_cache = _cache(tmp_path)
+        timings = StageTimings()
+        warm = synthesize(
+            core_spec, comm_spec, config=CONFIG, stage_cache=warm_cache,
+            timings=timings,
+        )
+
+        def canonical(result):
+            return [design_point_to_dict(p) for p in result.points]
+
+        assert canonical(cold) == canonical(plain) == canonical(warm)
+        # Stronger than dict equality: each replayed point is pickle-byte
+        # identical to its cold twin.
+        for a, b in zip(cold.points, warm.points):
+            assert pickle.dumps(a) == pickle.dumps(b)
+
+        cold_stats = cold_cache.stats_dict()
+        assert sum(r["misses"] for r in cold_stats.values()) > 0
+        assert sum(r["bytes_written"] for r in cold_stats.values()) > 0
+        warm_stats = warm_cache.stats_dict()
+        assert warm_stats
+        assert all(r["misses"] == 0 for r in warm_stats.values())
+        assert sum(r["hits"] for r in warm_stats.values()) > 0
+        assert sum(r["bytes_read"] for r in warm_stats.values()) > 0
+        # The warm run still reports per-stage timings (the originals,
+        # replayed), flagged as cached.
+        assert timings.any_cached
+        assert "cached" in timings.report()
+
+    def test_sweep_warm_adjacent_runs_only_delta_stages(
+        self, tiny_specs, tmp_path
+    ):
+        core_spec, comm_spec = tiny_specs
+        cache_dir = str(tmp_path / "stages")
+        freqs = (400.0, 600.0)
+        adjacent = CONFIG.with_(objective="latency")
+
+        reference = sweep_frequencies(
+            core_spec, comm_spec, freqs, config=adjacent
+        )
+        cold = sweep_frequencies(
+            core_spec, comm_spec, freqs, config=CONFIG,
+            stage_cache_dir=cache_dir,
+        )
+        warm = sweep_frequencies(
+            core_spec, comm_spec, freqs, config=adjacent,
+            stage_cache_dir=cache_dir,
+        )
+
+        assert cold.stage_cache and warm.stage_cache
+        missed = sorted(
+            name for name, row in warm.stage_cache.items() if row["misses"]
+        )
+        assert missed == ["metrics"]
+        assert sum(r["hits"] for r in warm.stage_cache.values()) > 0
+
+        def canonical(sweep):
+            return {
+                freq: [design_point_to_dict(p) for p in result.points]
+                for freq, result in sweep.per_frequency.items()
+            }
+
+        assert canonical(warm) == canonical(reference)
+
+
+CALLS = {"reject": 0, "explode": 0, "counting": 0}
+
+
+class RejectingStage(Stage):
+    name = "reject"
+    cacheable = True
+
+    def run(self, ctx, state):
+        CALLS["reject"] += 1
+        raise StageFailure("deterministic rejection")
+
+
+class ExplodingStage(Stage):
+    name = "explode"
+    cacheable = True
+
+    def run(self, ctx, state):
+        CALLS["explode"] += 1
+        raise RuntimeError("hard error, not a rejection")
+
+
+class CountingStage(Stage):
+    name = "counting"  # cacheable defaults to False
+
+    def run(self, ctx, state):
+        CALLS["counting"] += 1
+
+
+class UnstableStage(Stage):
+    """cacheable, but holds a handle with no stable representation."""
+
+    name = "unstable"
+    cacheable = True
+
+    def __init__(self):
+        self.handle = object()
+
+    def run(self, ctx, state):
+        CALLS.setdefault("unstable", 0)
+        CALLS["unstable"] += 1
+
+
+class TestFailureSemantics:
+    def test_stage_failure_is_cached_and_replayed(
+        self, ctx, ok_assignment, tmp_path
+    ):
+        CALLS["reject"] = 0
+        pipeline = Pipeline([RejectingStage()])
+        cache = _cache(tmp_path)
+        first = pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        assert first.failed_stage == "reject"
+        assert CALLS["reject"] == 1
+        second = pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        assert CALLS["reject"] == 1  # replayed, not re-run
+        assert second.failed_stage == "reject"
+        assert second.failure_reason == "deterministic rejection"
+        assert second.cached_stages == ["reject"]
+
+    def test_hard_error_is_never_cached(self, ctx, ok_assignment, tmp_path):
+        CALLS["explode"] = 0
+        pipeline = Pipeline([ExplodingStage()])
+        cache = _cache(tmp_path)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        assert CALLS["explode"] == 2  # re-ran: no record was written
+        assert cache.counters["explode"].misses == 2
+        assert cache.counters["explode"].bytes_written == 0
+        assert cache.store.stats().entries == 0
+
+    def test_opt_out_stage_runs_live(self, ctx, ok_assignment, tmp_path):
+        CALLS["counting"] = 0
+        pipeline = Pipeline([CountingStage()])
+        cache = _cache(tmp_path)
+        for _ in range(2):
+            state = pipeline.evaluate(
+                ctx, ok_assignment, stage_cache=cache
+            )
+            assert state.stage_fingerprints["counting"] is None
+        assert CALLS["counting"] == 2
+        assert "counting" not in cache.counters
+
+    def test_unfingerprintable_stage_degrades_to_uncached(
+        self, ctx, ok_assignment, tmp_path
+    ):
+        pipeline = Pipeline([UnstableStage()])
+        cache = _cache(tmp_path)
+        state = pipeline.evaluate(ctx, ok_assignment, stage_cache=cache)
+        assert state.ok
+        assert state.stage_fingerprints["unstable"] is None
+        assert cache.store.stats().entries == 0
+
+
+class TestStatsPlumbing:
+    def test_merge_stage_stats_accumulates(self):
+        into = {}
+        merge_stage_stats(into, {"routing": {"hits": 1, "misses": 2}})
+        merge_stage_stats(
+            into,
+            {"routing": {"hits": 3, "bytes_read": 10},
+             "metrics": {"misses": 1}},
+        )
+        assert into["routing"]["hits"] == 4
+        assert into["routing"]["misses"] == 2
+        assert into["routing"]["bytes_read"] == 10
+        assert into["metrics"]["misses"] == 1
+        assert merge_stage_stats({}, None) == {}
+
+    def test_format_summary_shape(self):
+        stats = {
+            "skeleton": {"hits": 2, "misses": 1, "bytes_read": 2048,
+                         "bytes_written": 1024},
+            "metrics": {"hits": 0, "misses": 3, "bytes_read": 0,
+                        "bytes_written": 4096},
+        }
+        text = format_stage_cache_summary(stats)
+        lines = text.splitlines()
+        assert lines[0].split() == ["stage", "hits", "misses", "read",
+                                    "written"]
+        assert any(line.lstrip().startswith("skeleton") for line in lines)
+        assert lines[-1].split()[0] == "total"
+        assert "2.0KiB" in text  # human-readable byte columns
+
+    def test_spec_reopens_equivalent_cache(self, tmp_path):
+        cache = _cache(tmp_path)
+        directory, salt = cache.spec()
+        reopened = open_stage_cache(directory, salt=salt)
+        assert reopened.spec() == (directory, salt)
+        assert isinstance(reopened, StageCache)
