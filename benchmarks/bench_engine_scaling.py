@@ -25,7 +25,12 @@ Not a paper figure: this is the repo's own perf-trajectory gate. It runs
   deadline) on the fault-free parallel sweep costs <= 5% wall-clock over
   the plain run (best-of-3 each), with identical merged points — and with
   one injected worker crash the campaign still completes, quarantining
-  exactly the poison task with every survivor identical.
+  exactly the poison task with every survivor identical, and
+* the durable campaign service loses and duplicates zero jobs across
+  sequential, concurrent and interrupted-then-resumed runs of the same
+  three campaigns, produces identical result digests on all three, and
+  the interrupted run's journal-replay overhead stays <= 5% of the
+  uninterrupted wall time.
 """
 
 from pathlib import Path
@@ -43,6 +48,7 @@ PATHS_SPEEDUP_FLOOR = 1.3
 CACHE_SPEEDUP_FLOOR = 5.0
 STAGE_CACHE_SPEEDUP_FLOOR = 5.0
 SUPERVISION_OVERHEAD_CEILING_PCT = 5.0
+SERVICE_REPLAY_OVERHEAD_CEILING_PCT = 5.0
 
 
 def _run():
@@ -109,6 +115,25 @@ def test_engine_scaling(benchmark):
     assert recovery["quarantined"] == 1
     assert recovery["poison_attributed"]
     assert recovery["survivors_identical"]
+
+    # Campaign service: durability must be lossless and near-free. The
+    # zero-loss gates are absolute; the replay ceiling covers journal
+    # replay + spec recompile + store hits on the resumed half.
+    service = report["service"]
+    assert service["lost_jobs"] == 0, (
+        f"{service['lost_jobs']} job(s) lost by the campaign service"
+    )
+    assert service["duplicated_jobs"] == 0, (
+        f"{service['duplicated_jobs']} job(s) completed more than once"
+    )
+    assert service["digests_identical"], (
+        "sequential / concurrent / resumed campaign runs disagree"
+    )
+    assert service["replay_overhead_pct"] <= \
+        SERVICE_REPLAY_OVERHEAD_CEILING_PCT, (
+            f"service replay overhead {service['replay_overhead_pct']}% "
+            f"above {SERVICE_REPLAY_OVERHEAD_CEILING_PCT}%"
+        )
 
     # Sweep scaling: only meaningful when the workers have cores to run on.
     cpus = report["cpu_count"] or 1

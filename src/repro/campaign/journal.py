@@ -1,0 +1,359 @@
+"""The write-ahead job journal: crash-safe memory of the campaign service.
+
+Every externally-visible state change of the service — a job submitted,
+queued, started, progressed, finished, failed, cancelled, a submission
+rejected for backpressure, the service itself starting or draining — is
+appended to one JSONL file *before* the change takes effect anywhere else
+(write-ahead discipline). After any crash, however rude (``kill -9``
+included), replaying the journal reconstructs exactly which jobs exist and
+how far each had provably gotten; everything else is recomputable from the
+content-addressed result store.
+
+Record format — one JSON object per line::
+
+    {"seq": 7, "event": "running", "job": "job-0003", ..., "crc": "9a1b2c3d"}
+
+* ``crc`` is the CRC32 (hex) of the record's canonical JSON (sorted keys,
+  compact separators) *without* the ``crc`` field. A record whose checksum
+  does not match is treated as absent — corruption never silently alters
+  job state.
+* ``seq`` is a strictly increasing sequence number; replay rejects a
+  journal whose sequence regresses (two writers interleaving) rather than
+  guessing an order.
+* **Torn tails are tolerated**: a process killed mid-append leaves at most
+  one partial final line, which replay drops (with a note). Corruption
+  anywhere *before* the tail raises :class:`~repro.errors.JournalError` —
+  that is damage, not a crash signature.
+
+Durability: appends for *job state transitions* (``submitted``/``queued``/
+``running``/``done``/``failed``/``cancelled``/``rejected``) are fsync'd
+before :meth:`JobJournal.append` returns, so an acknowledged transition
+survives power loss. High-frequency ``progress`` ticks ride the page cache
+(losing one costs re-running at most one already-stored batch — the store,
+not the journal, is the payload of record).
+
+Single-writer: the journal directory carries a
+:class:`~repro.engine.locks.FileLock`; a second service process opening
+the same journal for writing gets a structured :class:`JournalError`
+instead of interleaved (sequence-broken) records. Readers never lock.
+
+Compaction (:meth:`JobJournal.compact`) rewrites the file with terminal
+jobs summarised, via the same tmp + ``os.replace`` idiom the result store
+uses: the journal is never observable in a half-rotated state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.engine.faults import maybe_fire
+from repro.engine.locks import FileLock
+from repro.errors import JournalError, LockTimeoutError
+
+#: Events that change a job's lifecycle state — these are fsync'd.
+STATE_EVENTS = (
+    "submitted", "queued", "running", "done", "failed", "cancelled",
+    "rejected",
+)
+#: Best-effort events — informational, not fsync'd.
+INFO_EVENTS = ("progress", "checkpoint", "service-start", "service-stop")
+
+#: Job lifecycle states a replay can land on.
+ACTIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(record: Dict[str, Any]) -> str:
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return format(zlib.crc32(_canonical(body).encode("utf-8")), "08x")
+
+
+@dataclass
+class JobRecord:
+    """Replayed state of one job."""
+
+    job_id: str
+    state: str = "queued"
+    spec: Optional[Dict[str, Any]] = None
+    #: Tasks completed so far (from the latest ``progress`` record).
+    done_tasks: int = 0
+    total_tasks: int = 0
+    #: SHA-256 of the pickled, ordered result payload (``done`` records).
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    result_path: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+
+@dataclass
+class JournalState:
+    """Everything a replay reconstructs from one journal file."""
+
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+    last_seq: int = -1
+    records: int = 0
+    #: ``True`` when the final line was torn (partial write at crash time).
+    torn_tail: bool = False
+    #: Submissions rejected for backpressure (job ids are never assigned).
+    rejected: int = 0
+
+    @property
+    def incomplete(self) -> List[JobRecord]:
+        """Jobs a resuming service must finish, in submission order."""
+        return [job for job in self.jobs.values() if job.active]
+
+    @property
+    def next_job_number(self) -> int:
+        numbers = [0]
+        for job_id in self.jobs:
+            tail = job_id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                numbers.append(int(tail))
+        return max(numbers) + 1
+
+
+class JobJournal:
+    """Append-only, checksummed, single-writer job journal.
+
+    Args:
+        path: The JSONL file (parents created on demand).
+        writer: Take the exclusive writer lock. Readers (status commands)
+            pass ``False`` and never block a running service.
+
+    Raises:
+        JournalError: as a writer, when another process already holds the
+            journal's writer lock.
+    """
+
+    def __init__(self, path: Union[str, Path], *, writer: bool = True) -> None:
+        self.path = Path(path)
+        self._lock: Optional[FileLock] = None
+        self._seq = -1
+        if writer:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            lock = FileLock(self._lock_path())
+            try:
+                acquired = lock.acquire(timeout_s=0)
+            except LockTimeoutError as exc:
+                raise JournalError(f"cannot lock journal {self.path}: {exc}")
+            if not acquired:
+                raise JournalError(
+                    f"journal {self.path} is already owned by another "
+                    "process (single-writer; is a service running here?)"
+                )
+            self._lock = lock
+            self._seq = self.replay().last_seq
+
+    def _lock_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".lock")
+
+    @property
+    def is_writer(self) -> bool:
+        return self._lock is not None
+
+    def close(self) -> None:
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Write one record; fsync'd when ``event`` is a state transition.
+
+        The deterministic chaos harness's ``journal-write`` fault site
+        fires *before* the bytes land, so an injected crash here proves the
+        write-ahead property: either the record is fully on disk or the
+        transition never happened — no third possibility.
+        """
+        if not self.is_writer:
+            raise JournalError(
+                f"journal {self.path} opened read-only; cannot append"
+            )
+        if event not in STATE_EVENTS and event not in INFO_EVENTS:
+            raise JournalError(f"unknown journal event {event!r}")
+        maybe_fire("journal-write")
+        self._seq += 1
+        record = {"seq": self._seq, "event": event, **fields}
+        record["crc"] = _crc(record)
+        line = _canonical(record) + "\n"
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+            if event in STATE_EVENTS:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        return record
+
+    def compact(self, state: Optional[JournalState] = None) -> int:
+        """Atomically rewrite the journal with one summary record per job.
+
+        Long-running services accrete ``progress`` lines without bound;
+        compaction replaces history with the replay's fixed point — the
+        resulting journal replays to the *same* :class:`JournalState`.
+        Returns the number of records dropped.
+        """
+        if not self.is_writer:
+            raise JournalError(
+                f"journal {self.path} opened read-only; cannot compact"
+            )
+        if state is None:
+            state = self.replay()
+        tmp = self.path.with_suffix(".tmp")
+        seq = -1
+        with open(tmp, "w") as handle:
+            for job in state.jobs.values():
+                seq += 1
+                record: Dict[str, Any] = {
+                    "seq": seq, "event": job.state, "job": job.job_id,
+                }
+                if job.spec is not None:
+                    record["spec"] = job.spec
+                if job.total_tasks:
+                    record["total_tasks"] = job.total_tasks
+                    record["done_tasks"] = job.done_tasks
+                if job.digest is not None:
+                    record["digest"] = job.digest
+                if job.result_path is not None:
+                    record["result_path"] = job.result_path
+                if job.error is not None:
+                    record["error"] = job.error
+                record["crc"] = _crc(record)
+                handle.write(_canonical(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        dropped = state.records - (seq + 1)
+        self._seq = seq
+        return max(0, dropped)
+
+    # -- reading ----------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Reconstruct job state from the file (tolerating a torn tail).
+
+        Raises:
+            JournalError: checksum/parse damage anywhere before the final
+                line, or a regressing sequence number (interleaved
+                writers) — both are corruption, not crash signatures.
+        """
+        state = JournalState()
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return state
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for i, line in enumerate(lines):
+            record = self._parse(line)
+            if record is None:
+                if i == len(lines) - 1:
+                    state.torn_tail = True
+                    break
+                raise JournalError(
+                    f"journal {self.path} is corrupt at line {i + 1} "
+                    "(bad JSON or checksum before the tail)"
+                )
+            seq = record.get("seq", -1)
+            if not isinstance(seq, int) or seq <= state.last_seq:
+                raise JournalError(
+                    f"journal {self.path} line {i + 1}: sequence {seq!r} "
+                    f"does not advance past {state.last_seq} "
+                    "(interleaved writers?)"
+                )
+            state.last_seq = seq
+            state.records += 1
+            self._apply(state, record)
+        return state
+
+    def _parse(self, line: bytes) -> Optional[Dict[str, Any]]:
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or "crc" not in record:
+            return None
+        if record["crc"] != _crc(record):
+            return None
+        return record
+
+    @staticmethod
+    def _apply(state: JournalState, record: Dict[str, Any]) -> None:
+        event = record.get("event")
+        if event == "rejected":
+            state.rejected += 1
+            return
+        job_id = record.get("job")
+        if not job_id:
+            return  # service-start / service-stop / checkpoint markers
+        if event == "submitted" or event == "queued":
+            job = state.jobs.get(job_id)
+            if job is None:
+                job = JobRecord(job_id=job_id)
+                state.jobs[job_id] = job
+            job.state = "queued"
+            if record.get("spec") is not None:
+                job.spec = record["spec"]
+            if record.get("total_tasks"):
+                job.total_tasks = int(record["total_tasks"])
+            return
+        job = state.jobs.get(job_id)
+        if job is None:
+            # A transition for a job we never saw submitted: only possible
+            # after compaction pruned it; synthesize the shell.
+            job = JobRecord(job_id=job_id)
+            state.jobs[job_id] = job
+        if event == "running":
+            job.state = "running"
+            if record.get("total_tasks"):
+                job.total_tasks = int(record["total_tasks"])
+        elif event == "progress":
+            job.done_tasks = int(record.get("done_tasks", job.done_tasks))
+            if record.get("total_tasks"):
+                job.total_tasks = int(record["total_tasks"])
+        elif event in TERMINAL_STATES:
+            job.state = event
+            job.digest = record.get("digest", job.digest)
+            job.error = record.get("error", job.error)
+            job.result_path = record.get("result_path", job.result_path)
+            if record.get("total_tasks"):
+                job.total_tasks = int(record["total_tasks"])
+            if record.get("done_tasks") is not None:
+                job.done_tasks = int(record["done_tasks"])
+        if record.get("spec") is not None:
+            job.spec = record["spec"]
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Valid records, in order (diagnostics; replay() for state)."""
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            record = self._parse(line)
+            if record is not None:
+                yield record

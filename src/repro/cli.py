@@ -26,6 +26,15 @@ Sub-commands:
   (see ``docs/pipeline.md``), so a changed parameter re-runs only the
   stages it invalidates; ``cache stats`` breaks those records out per
   stage.
+* ``campaign``   — declarative campaigns (see ``docs/campaign.md``):
+  ``validate`` a spec file (every problem listed with its JSON path, exit
+  2 if invalid), ``run`` one locally, or ``submit`` / ``status`` /
+  ``cancel`` against a service spool directory.
+* ``serve``      — the resident campaign service over a spool directory:
+  bounded job queue with explicit backpressure, round-robin fairness
+  across jobs, write-ahead journal, graceful SIGTERM drain; after a
+  crash, ``serve --resume`` replays the journal and completes every
+  incomplete job bit-identically from the content-addressed store.
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig17, fig18, fig19,
   fig21, fig23, table1).
@@ -182,6 +191,82 @@ def build_parser() -> argparse.ArgumentParser:
                             "a real pool)")
     bench.add_argument("--output", default="BENCH_engine.json",
                        help="where to write the JSON report")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative campaign specs: validate/run locally, or "
+             "submit/status/cancel against a service spool directory",
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    cval = csub.add_parser(
+        "validate",
+        help="check a campaign spec file; every problem is reported with "
+             "its JSON path (exit 2 when invalid)",
+    )
+    cval.add_argument("spec", help="campaign spec file (JSON, or YAML "
+                                   "where PyYAML is installed)")
+
+    crun = csub.add_parser(
+        "run", help="compile and run one campaign locally (no service)"
+    )
+    crun.add_argument("spec", help="campaign spec file")
+    crun.add_argument("--jobs", type=int, default=1,
+                      help="engine worker processes (0 = one per CPU)")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress per-task progress lines")
+    _add_cache_args(crun)
+
+    csubmit = csub.add_parser(
+        "submit", help="drop a spec in a service's inbox (validated "
+                       "client-side first)"
+    )
+    csubmit.add_argument("spec", help="campaign spec file")
+    csubmit.add_argument("--dir", required=True, metavar="SPOOL",
+                         help="service spool directory")
+
+    cstatus = csub.add_parser(
+        "status", help="show job states from a spool's journal (read-only)"
+    )
+    cstatus.add_argument("--dir", required=True, metavar="SPOOL",
+                         help="service spool directory")
+
+    ccancel = csub.add_parser(
+        "cancel", help="request cancellation of a queued/running job"
+    )
+    ccancel.add_argument("job", help="job id (e.g. job-0003)")
+    ccancel.add_argument("--dir", required=True, metavar="SPOOL",
+                         help="service spool directory")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident campaign service over a spool directory "
+             "(bounded queue, write-ahead journal, crash-safe resume)",
+    )
+    serve.add_argument("--dir", required=True, metavar="SPOOL",
+                       help="spool directory (journal, inbox, store, "
+                            "results; created if missing)")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the journal and finish incomplete jobs "
+                            "(required when the previous service crashed "
+                            "mid-campaign)")
+    serve.add_argument("--once", action="store_true",
+                       help="drain the inbox and queue, then exit instead "
+                            "of staying resident")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="engine worker processes per batch "
+                            "(1 = serial; results identical either way)")
+    serve.add_argument("--max-queue", type=int, default=8,
+                       help="bound on queued+running jobs; submissions "
+                            "past it are rejected with a retry-after "
+                            "(never silently dropped)")
+    serve.add_argument("--batch", type=int, default=2,
+                       help="engine tasks per scheduling turn per job "
+                            "(the round-robin fairness quantum)")
+    serve.add_argument("--idle-exit", type=float, default=None,
+                       metavar="SECONDS",
+                       help="exit after this long with nothing to do "
+                            "(default: stay resident)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("id", help="experiment id (e.g. table1, fig11, fig23)")
@@ -544,6 +629,7 @@ def _cmd_bench(args) -> int:
     paths = report["compute_paths"]
     floorplan = report["floorplan"]
     simulator = report["simulator"]
+    service = report["service"]
     print(
         f"\nsummary: sweep speedup {sweep['speedup']}x on {sweep['jobs']} "
         f"worker(s) ({report['cpu_count']} CPU(s) visible), "
@@ -553,7 +639,10 @@ def _cmd_bench(args) -> int:
         f"floorplan anneal speedup {floorplan['speedup']}x "
         f"({floorplan['incremental_moves_per_s']:,.0f} moves/s), "
         f"simulator speedup {simulator['speedup']}x "
-        f"({simulator['engine_cycles_per_s']:,.0f} cycles/s)"
+        f"({simulator['engine_cycles_per_s']:,.0f} cycles/s), "
+        f"service replay overhead {service['replay_overhead_pct']:+.1f}% "
+        f"({service['lost_jobs']} lost, {service['duplicated_jobs']} "
+        f"duplicated)"
     )
     return 0
 
@@ -615,6 +704,95 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import (
+        CampaignService, compile_campaign, load_campaign_file,
+    )
+
+    if args.campaign_command == "validate":
+        spec = load_campaign_file(args.spec)  # raises listing every issue
+        print(f"{args.spec}: ok — campaign {spec.name!r} "
+              f"({spec.kind}, {spec.benchmark}, {spec.task_count} task(s))")
+        return 0
+    if args.campaign_command == "run":
+        from repro.engine.executor import run_tasks
+
+        spec = load_campaign_file(args.spec)
+        store = _open_store(args)
+        tasks = compile_campaign(
+            spec, store=store,
+            stage_cache_dir=str(store.root) if store is not None else None,
+        )
+        progress = None
+        if not args.quiet:
+            def progress(done, total, key):
+                print(f"  [{done}/{total}] {key}")
+        print(f"campaign {spec.name!r}: {len(tasks)} task(s) "
+              f"(jobs={args.jobs or 'auto'})")
+        results = run_tasks(tasks, jobs=args.jobs, progress=progress,
+                            store=store)
+        failed = [r for r in results if r.error is not None]
+        print(f"done: {len(results) - len(failed)} ok, {len(failed)} failed")
+        return 1 if failed else 0
+    if args.campaign_command == "submit":
+        from repro.campaign.service import submit_file
+
+        target = submit_file(args.dir, args.spec)
+        print(f"submitted {args.spec} -> {target}")
+        print("(a running `serve` on that directory will pick it up; "
+              "check `campaign status`)")
+        return 0
+    if args.campaign_command == "status":
+        state = CampaignService.status(args.dir)
+        if not state.jobs:
+            print(f"{args.dir}: no jobs journaled")
+        else:
+            print(f"{'job':10s} {'state':10s} {'progress':>10s} digest")
+            for job in state.jobs.values():
+                progress_str = (
+                    f"{job.done_tasks}/{job.total_tasks}"
+                    if job.total_tasks else "-"
+                )
+                tail = job.digest[:12] if job.digest else (job.error or "")
+                print(f"{job.job_id:10s} {job.state:10s} "
+                      f"{progress_str:>10s} {tail}")
+        if state.rejected:
+            print(f"{state.rejected} submission(s) rejected (backpressure)")
+        if state.torn_tail:
+            print("note: journal has a torn final record (crash signature); "
+                  "resume with `serve --resume`")
+        return 0
+    # cancel
+    from repro.campaign.service import request_cancel
+
+    marker = request_cancel(args.dir, args.job)
+    print(f"cancellation of {args.job} requested ({marker})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.campaign import CampaignService
+
+    if args.max_queue < 1:
+        raise ReproError(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.batch < 1:
+        raise ReproError(f"--batch must be >= 1, got {args.batch}")
+    with CampaignService(
+        args.dir, max_queue=args.max_queue, batch_size=args.batch,
+        jobs=args.jobs, resume=args.resume,
+    ) as service:
+        print(f"serving {service.paths.root} "
+              f"(max_queue={service.max_queue}, batch={service.batch_size}"
+              f"{', resumed' if args.resume else ''})")
+        if args.once:
+            completed = service.run_until_idle()
+            print(f"drained: {len(completed)} job(s) completed")
+        else:
+            service.serve_forever(idle_exit_s=args.idle_exit)
+            print("service stopped (drained)")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     exp_id = args.id.lower()
     from repro.experiments import (
@@ -672,6 +850,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "benchmarks":

@@ -28,7 +28,13 @@ package fans them across a process pool:
   on_error=)``);
 * :mod:`repro.engine.faults` — the deterministic fault-injection harness
   (seeded :class:`FaultPlan`; transient/crash/delay faults) that proves
-  the recovery paths in the tier-1 suite;
+  the recovery paths in the tier-1 suite, plus named fault *sites*
+  (:func:`arm_sites` / :func:`maybe_fire`) for orchestrator-side chaos:
+  crash a designated process at an exact journal write, store eviction
+  or scheduling turn;
+* :mod:`repro.engine.locks` — :class:`FileLock`, the advisory
+  inter-process lock (kernel-released on process death) guarding the
+  store's mutations and the campaign journal's single-writer rule;
 * :mod:`repro.engine.profile` — wall-clock timers backing
   ``BENCH_engine.json``;
 * :mod:`repro.engine.reference` — the frozen pre-optimisation routing
@@ -54,8 +60,18 @@ knobs.
 """
 
 from repro.engine.executor import ProgressFn, resolve_jobs, run_tasks
-from repro.engine.faults import FaultPlan, FaultSpec, FaultyTask, inject_faults
+from repro.engine.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultyTask,
+    arm_sites,
+    inject_faults,
+    maybe_fire,
+    reset_sites,
+    site_activations,
+)
 from repro.engine.grid import GridPoint, ParameterGrid, build_tasks
+from repro.engine.locks import FileLock, LockTimeoutError
 from repro.engine.profile import ProfileRecorder, Timer
 from repro.engine.stagecache import (
     StageCache,
@@ -83,7 +99,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyTask",
+    "FileLock",
     "GridPoint",
+    "LockTimeoutError",
     "ParameterGrid",
     "ProfileRecorder",
     "ProgressFn",
@@ -98,9 +116,13 @@ __all__ = [
     "TaskResult",
     "TaskTimeoutError",
     "Timer",
+    "arm_sites",
     "build_tasks",
     "fingerprint_task",
     "inject_faults",
+    "maybe_fire",
+    "reset_sites",
+    "site_activations",
     "merge_stage_stats",
     "open_stage_cache",
     "open_store",

@@ -36,7 +36,12 @@ Measures the claims this subsystem makes and writes them to
   versus plain, fault-free (the overhead claim), and with one injected
   worker crash under ``on_error="quarantine"`` (wall-clock to complete the
   campaign with the poison task quarantined and every survivor identical
-  to the fault-free merge).
+  to the fault-free merge);
+* **campaign service** — three campaigns through the durable
+  :mod:`repro.campaign` service: sequential versus round-robin concurrent
+  submission (gated on zero lost / duplicated jobs and identical result
+  digests) and an interrupted-then-resumed run (gated on journal-replay
+  overhead <= 5% over the uninterrupted wall time).
 
 Shared by ``python -m repro.cli bench``,
 ``benchmarks/bench_engine_scaling.py``,
@@ -47,6 +52,7 @@ Shared by ``python -m repro.cli bench``,
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.bench.synthetic import synthetic_benchmark
@@ -145,6 +151,7 @@ def run_engine_benchmark(
     simulator_report = _bench_simulator(bench, recorder, say, workers, quick)
     supervision_report = _bench_supervision(tasks, serial, recorder, say,
                                             workers)
+    service_report = _bench_service(recorder, say)
 
     report = {
         "benchmark": "engine-scaling",
@@ -169,6 +176,7 @@ def run_engine_benchmark(
         "floorplan": floorplan_report,
         "simulator": simulator_report,
         "supervision": supervision_report,
+        "service": service_report,
     }
     if output:
         recorder.write_json(output, extra=report)
@@ -607,6 +615,153 @@ def _bench_supervision(
             "attempts": quarantined[0].attempts if quarantined else 0,
             "survivors_identical": survivors_identical,
         },
+    }
+
+
+#: The campaign-service benchmark workload: three small real campaigns
+#: (d26_media, tiny switch range) totalling 12 synthesis tasks — enough
+#: work that the fixed costs of journal replay and store hits are a small
+#: fraction, small enough for the quick CI gate.
+_SERVICE_SPECS = (
+    {
+        "name": "svc-a", "kind": "sweep", "benchmark": "d26_media",
+        "grid": {"frequencies_mhz": [400, 500, 600, 700]},
+        "config": {"switch_count_range": [3, 4]},
+    },
+    {
+        "name": "svc-b", "kind": "sweep", "benchmark": "d26_media",
+        "grid": {"frequencies_mhz": [450, 550, 650, 750]},
+        "config": {"switch_count_range": [3, 4]},
+    },
+    {
+        "name": "svc-c", "kind": "sweep", "benchmark": "d26_media",
+        "grid": {"frequencies_mhz": [420, 520, 620, 720]},
+        "config": {"switch_count_range": [3, 4]},
+    },
+)
+
+
+def _bench_service(
+    recorder: ProfileRecorder, say: Callable[[str], None],
+) -> Dict:
+    """Campaign-service throughput and durability cost.
+
+    Three legs over the same three campaigns:
+
+    * **sequential** — each job drained before the next is submitted
+      (batch = whole job): the no-scheduler baseline;
+    * **concurrent** — all three queued at once, round-robin with
+      ``batch_size=1``: the service's fairness mode. Gated on zero
+      lost / duplicated jobs and result digests identical to the
+      sequential leg — on one CPU concurrency buys fairness, not speed,
+      so only *identity* is gated, and the relative wall time is
+      recorded for the trajectory;
+    * **interrupted** — the concurrent run stopped after half the task
+      batches, then finished by a second, ``resume=True`` service. The
+      extra cost over the uninterrupted concurrent leg — journal replay,
+      spec recompilation, store hits for already-done tasks — is the
+      **replay overhead**, gated at <= 5%.
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign import CampaignService
+    from repro.campaign.journal import JobJournal
+    from repro.campaign.spec import CampaignSpec
+
+    specs = [CampaignSpec.from_dict(d) for d in _SERVICE_SPECS]
+    total_tasks = sum(s.task_count for s in specs)
+    whole_job = max(s.task_count for s in specs)
+
+    def digests(root) -> Dict[str, str]:
+        state = CampaignService.status(root)
+        return {
+            job.spec["name"]: job.digest for job in state.jobs.values()
+        }
+
+    def done_counts(root) -> Dict[str, int]:
+        journal = JobJournal(Path(root) / "journal.jsonl", writer=False)
+        counts: Dict[str, int] = {}
+        for record in journal.iter_records():
+            if record["event"] == "done":
+                counts[record["job"]] = counts.get(record["job"], 0) + 1
+        return counts
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+    try:
+        with recorder.time("service_sequential", jobs=1):
+            with CampaignService(
+                root / "sequential", batch_size=whole_job,
+            ) as svc:
+                for spec in specs:
+                    svc.submit(spec)
+                    svc.run_until_idle(poll_inbox=False)
+        sequential_s = recorder.best_s("service_sequential")
+
+        with recorder.time("service_concurrent", jobs=1):
+            with CampaignService(root / "concurrent", batch_size=1) as svc:
+                for spec in specs:
+                    svc.submit(spec)
+                svc.run_until_idle(poll_inbox=False)
+        concurrent_s = recorder.best_s("service_concurrent")
+
+        with recorder.time("service_interrupted", jobs=1):
+            with CampaignService(
+                root / "interrupted", batch_size=1,
+            ) as svc:
+                for spec in specs:
+                    svc.submit(spec)
+                for _ in range(total_tasks // 2):
+                    svc.step()
+            # A second service finishes what the first left: journal
+            # replay, recompile, store hits for every completed batch.
+            with CampaignService(
+                root / "interrupted", batch_size=1, resume=True,
+            ) as svc:
+                svc.run_until_idle(poll_inbox=False)
+        interrupted_s = recorder.best_s("service_interrupted")
+
+        sequential_digests = digests(root / "sequential")
+        concurrent_digests = digests(root / "concurrent")
+        interrupted_digests = digests(root / "interrupted")
+        counts = done_counts(root / "concurrent")
+        lost = len(specs) - len(counts)
+        duplicated = sum(1 for n in counts.values() if n > 1)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    digests_identical = (
+        sequential_digests == concurrent_digests == interrupted_digests
+        and all(sequential_digests.values())
+    )
+    concurrent_vs_sequential_pct = (
+        (concurrent_s - sequential_s) / sequential_s * 100.0
+        if sequential_s > 0 else 0.0
+    )
+    replay_overhead_pct = (
+        (interrupted_s - concurrent_s) / concurrent_s * 100.0
+        if concurrent_s > 0 else 0.0
+    )
+    say(
+        f"service: sequential {sequential_s:.2f}s, concurrent "
+        f"{concurrent_s:.2f}s ({concurrent_vs_sequential_pct:+.1f}%), "
+        f"interrupted+resumed {interrupted_s:.2f}s "
+        f"(replay overhead {replay_overhead_pct:+.1f}%; lost {lost}, "
+        f"duplicated {duplicated}, digests identical: {digests_identical})"
+    )
+    return {
+        "jobs_submitted": len(specs),
+        "tasks_total": total_tasks,
+        "sequential_s": round(sequential_s, 4),
+        "concurrent_s": round(concurrent_s, 4),
+        "concurrent_vs_sequential_pct": round(
+            concurrent_vs_sequential_pct, 2
+        ),
+        "interrupted_s": round(interrupted_s, 4),
+        "replay_overhead_pct": round(replay_overhead_pct, 2),
+        "lost_jobs": lost,
+        "duplicated_jobs": duplicated,
+        "digests_identical": digests_identical,
     }
 
 

@@ -30,6 +30,21 @@ Store integration: :class:`FaultyTask` declares
 *same* content address as the clean task. A campaign that survived
 injected faults therefore shares its checkpoints with — and must merge
 bit-identically to — a fault-free run.
+
+**Service-level fault sites.** Task wrapping covers worker-side failures;
+the campaign service (PR 8) also has *orchestrator*-side failure points:
+the journal write, store eviction, the gap between jobs. Those are chaos-
+tested through named **fault sites**: code at a failure point calls
+:func:`maybe_fire` with its site name — a no-op unless the
+``$REPRO_FAULT_SITES`` environment variable points at a directory armed by
+:func:`arm_sites`. Arming is explicit and per-process-tree (tests pass the
+env to the subprocess they intend to kill), activation counts live in the
+same O_APPEND counter files, so "crash once, then pass" survives the very
+process death it causes — which is exactly what a ``serve --resume`` chaos
+test needs. Site kinds reuse :class:`FaultSpec`; ``"crash"`` at a site
+hard-exits the *current* process even from ``MainProcess`` (the armed
+process is the designated victim — never arm sites in a process you cannot
+afford to lose).
 """
 
 from __future__ import annotations
@@ -67,12 +82,17 @@ class FaultSpec:
             A ``times=2`` transient fault fails twice, then succeeds.
         delay_s: Sleep length for ``"delay"`` faults.
         exit_code: Worker exit status for ``"crash"`` faults.
+        skip: Let the first ``skip`` activations pass before the fault
+            window opens — ``skip=3, times=1`` fires on activation 4 only.
+            This is what lets chaos tests kill a service at an *arbitrary*
+            point: the k-th journal write, the k-th batch.
     """
 
     kind: str
     times: int = 1
     delay_s: float = 0.0
     exit_code: int = 32
+    skip: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _VALID_KINDS:
@@ -83,6 +103,8 @@ class FaultSpec:
             raise EngineError(f"times must be >= -1, got {self.times}")
         if self.delay_s < 0:
             raise EngineError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.skip < 0:
+            raise EngineError(f"skip must be >= 0, got {self.skip}")
 
 
 @dataclass(frozen=True)
@@ -115,7 +137,9 @@ class FaultyTask:
         spec = self.spec
         if spec.kind == "noop":
             return
-        if spec.times >= 0 and count > spec.times:
+        if count <= spec.skip:
+            return  # fault window not open yet
+        if spec.times >= 0 and count - spec.skip > spec.times:
             return
         if spec.kind == "delay":
             time.sleep(spec.delay_s)
@@ -249,6 +273,108 @@ def inject_faults(tasks: Sequence, plan: FaultPlan) -> List:
 def unwrap_task(task):
     """The task behind a possible fault wrapper (identity otherwise)."""
     return getattr(task, "inner", task)
+
+
+# --------------------------------------------------------------------------
+# named fault sites (service-level chaos)
+# --------------------------------------------------------------------------
+
+#: Environment variable naming the armed fault-site directory. Unset (the
+#: overwhelmingly common case) makes every :func:`maybe_fire` a single
+#: dict lookup + env read — cheap enough for hot paths like journal writes.
+SITES_ENV = "REPRO_FAULT_SITES"
+
+#: Site names wired into the production code paths (for discoverability;
+#: :func:`maybe_fire` accepts any name).
+KNOWN_SITES = (
+    "journal-write",      # JobJournal.append, before the record is written
+    "store-evict",        # ResultStore.evict, between candidate unlinks
+    "service-batch",      # CampaignService, before each task batch
+    "service-between-jobs",  # CampaignService, after a job completes
+)
+
+
+def arm_sites(state_dir, sites) -> dict:
+    """Write arming files for ``sites`` (name -> :class:`FaultSpec`) under
+    ``state_dir`` and return the environment mapping that activates them.
+
+    Pass the returned dict into the *victim* process's environment
+    (``subprocess.Popen(env={**os.environ, **arm_sites(...)})``). Arming
+    the current process (``os.environ.update``) is possible but means a
+    ``"crash"`` site will genuinely ``os._exit`` it.
+    """
+    root = Path(state_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    for name, spec in dict(sites).items():
+        if not isinstance(spec, FaultSpec):
+            raise EngineError(
+                f"site {name!r} must map to a FaultSpec, "
+                f"got {type(spec).__name__}"
+            )
+        payload = (
+            f"{spec.kind}\n{spec.times}\n{spec.delay_s}\n{spec.exit_code}\n"
+            f"{spec.skip}\n"
+        )
+        tmp = root / f".{name}.site.tmp"
+        tmp.write_text(payload)
+        os.replace(tmp, root / f"{name}.site")
+    return {SITES_ENV: str(root)}
+
+
+def site_activations(state_dir, site: str) -> int:
+    """How many times ``site`` has fired (across every armed process)."""
+    return _count(Path(state_dir) / f"site-{site}.count")
+
+
+def reset_sites(state_dir) -> None:
+    """Disarm every site and forget its activation counts."""
+    root = Path(state_dir)
+    for pattern in ("*.site", "site-*.count"):
+        for path in root.glob(pattern):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+def maybe_fire(site: str) -> None:
+    """Fire the named fault site if one is armed for this process tree.
+
+    No-op unless ``$REPRO_FAULT_SITES`` names a directory containing
+    ``<site>.site``. Counters persist on disk, so ``times=N`` means the
+    site misbehaves on its first N activations *ever* — surviving the
+    process kill it causes, which is what lets a restarted service run
+    straight through the same code path.
+    """
+    root = os.environ.get(SITES_ENV)
+    if not root:
+        return
+    try:
+        lines = (Path(root) / f"{site}.site").read_text().splitlines()
+        kind, times_s, delay_s, exit_code_s, skip_s = lines[:5]
+        spec = FaultSpec(
+            kind=kind, times=int(times_s), delay_s=float(delay_s),
+            exit_code=int(exit_code_s), skip=int(skip_s),
+        )
+    except (OSError, ValueError, IndexError):
+        return  # not armed (or torn arming file): never fault by accident
+    count = _bump(Path(root) / f"site-{site}.count")
+    if spec.kind == "noop":
+        return
+    if count <= spec.skip:
+        return  # fault window not open yet
+    if spec.times >= 0 and count - spec.skip > spec.times:
+        return
+    if spec.kind == "delay":
+        time.sleep(spec.delay_s)
+        return
+    if spec.kind == "transient":
+        raise TransientFaultError(
+            f"injected transient fault at site {site!r} (activation {count})"
+        )
+    # kind == "crash": the armed process is the designated victim — exit
+    # hard, exactly like a SIGKILL at this instruction.
+    os._exit(spec.exit_code)
 
 
 def _bump(path: Path) -> int:

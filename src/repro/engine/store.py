@@ -27,7 +27,17 @@ Design:
   ``python -m repro.cli cache verify`` audits and optionally repairs;
 * **bounded size** — an optional ``max_bytes`` budget evicts the
   least-recently-used entries (hits refresh an entry's mtime) after each
-  write.
+  write;
+* **inter-process safety** — multi-file mutations (LRU eviction, ``clear``,
+  ``verify(repair=True)``) run under an advisory
+  :class:`~repro.engine.locks.FileLock` at ``<root>/.lock``, so serving
+  workers, a resident campaign service and ad-hoc CLI runs can share one
+  warm store without racing each other's walks; eviction additionally
+  skips entries younger than ``evict_grace_s``, so a peer's *just-written*
+  checkpoint can never be dropped by a concurrent evictor whose LRU scan
+  predates it. The kernel releases the lock when a holder dies (SIGKILL
+  included), and single-entry unlinks are atomic, so a crash mid-eviction
+  leaves a smaller-but-consistent store and no stuck lock.
 
 The executor integration lives in :func:`repro.engine.executor.run_tasks`
 (``store=``): hits short-circuit the worker pool, misses are computed and
@@ -47,7 +57,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.errors import StoreError
+from repro.engine.locks import FileLock
+from repro.errors import LockTimeoutError, StoreError
 
 #: Bump when a code change invalidates previously stored results (routing,
 #: floorplanning, simulation semantics). Overridable per store and via the
@@ -62,6 +73,16 @@ STORE_FORMAT = 1
 DEFAULT_STORE_DIR = ".repro-cache"
 
 _ENTRY_SUFFIX = ".pkl"
+
+#: Entries younger than this are never eviction candidates: a concurrent
+#: writer's just-checkpointed result must survive a peer's LRU walk that
+#: started before the write landed.
+EVICT_GRACE_S = 5.0
+
+#: How long a mutation waits for the store lock before giving up. Eviction
+#: is optional hygiene — a busy peer means the budget is briefly
+#: overshot, never that a campaign blocks.
+_LOCK_WAIT_S = 10.0
 
 #: Task fields that must not shape the fingerprint: ``key`` is a
 #: caller-chosen merge label, ``context_token`` a run-local cache handle,
@@ -302,6 +323,9 @@ class ResultStore:
             no directory creation, no write probe — a store on a read-only
             mount can still be audited, and asking for stats of a missing
             store does not create one as a side effect.
+        evict_grace_s: Minimum entry age before it can be evicted; protects
+            checkpoints a *concurrent process* wrote after this process's
+            LRU walk began. 0 disables the window (single-process tests).
     """
 
     def __init__(
@@ -311,13 +335,19 @@ class ResultStore:
         salt: Optional[str] = None,
         max_bytes: Optional[int] = None,
         readonly: bool = False,
+        evict_grace_s: float = EVICT_GRACE_S,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise StoreError(f"max_bytes must be positive, got {max_bytes}")
+        if evict_grace_s < 0:
+            raise StoreError(
+                f"evict_grace_s must be >= 0, got {evict_grace_s}"
+            )
         self.root = Path(root)
         self.salt = resolve_salt(salt)
         self.max_bytes = max_bytes
         self.readonly = readonly
+        self.evict_grace_s = evict_grace_s
         self.hits = 0
         self.misses = 0
         self.corrupt_dropped = 0
@@ -326,7 +356,29 @@ class ResultStore:
         #: budgeted puts stay O(1) instead of re-walking the store each
         #: time; None = unknown (rescanned lazily).
         self._approx_bytes: Optional[int] = None
+        #: Entry paths this instance wrote: eviction may reclaim our own
+        #: fresh writes (single-process budget semantics unchanged) but
+        #: never a *peer's* entry younger than the grace window.
+        self._own_paths: set = set()
         self._prepare_root()
+
+    def _mutation_lock(self, *, wait: bool = True) -> Optional[FileLock]:
+        """A held store-wide lock for a multi-file mutation, or ``None``
+        when it could not be taken (busy peer / unwritable root): the
+        caller then skips or proceeds best-effort — never blocks forever,
+        never raises from a hygiene path. ``wait=False`` is a single
+        non-blocking attempt (eviction: a busy peer is already doing the
+        job, so don't queue behind it)."""
+        lock = FileLock(
+            self.root / ".lock",
+            timeout_s=_LOCK_WAIT_S if wait else 0,
+        )
+        try:
+            if lock.acquire():
+                return lock
+        except LockTimeoutError:
+            pass
+        return None
 
     # -- directory plumbing -------------------------------------------------
 
@@ -490,6 +542,7 @@ class ResultStore:
                     pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
                 new_size = os.path.getsize(tmp)
                 os.replace(tmp, path)
+                self._own_paths.add(str(path))
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -544,12 +597,36 @@ class ResultStore:
         budget configured (and none passed) this is a no-op. The full
         directory walk happens only here — budgeted ``put``\\ s track a
         running total and call this just when it crosses the budget.
+
+        Cross-process safety: the walk-and-unlink runs under the store's
+        advisory file lock (one evictor at a time; a busy or unlockable
+        store skips eviction — the budget is hygiene, not an invariant),
+        and entries younger than ``evict_grace_s`` are never candidates, so
+        a checkpoint a *peer process* wrote moments ago survives even
+        though this evictor's LRU ordering predates it. A process killed
+        mid-eviction releases the lock automatically (kernel semantics) and
+        leaves a smaller-but-consistent store.
         """
         budget = max_bytes if max_bytes is not None else self.max_bytes
         if budget is None:
             return 0
+        lock = self._mutation_lock(wait=False)
+        if lock is None:
+            # A peer is already evicting (or the root is unlockable):
+            # their pass enforces the budget; rescan on next need.
+            self._approx_bytes = None
+            return 0
+        try:
+            return self._evict_locked(budget, protect)
+        finally:
+            lock.release()
+
+    def _evict_locked(self, budget: int, protect: Optional[Path]) -> int:
+        from repro.engine.faults import maybe_fire
+
         entries = []
         total = 0
+        fresh_after = time.time() - self.evict_grace_s
         for path in self._entry_paths():
             try:
                 st = path.stat()
@@ -563,15 +640,19 @@ class ResultStore:
         # result alone exceeds the budget, evicting everything else cannot
         # help, and on coarse-mtime filesystems the just-checkpointed
         # entry could otherwise lose an mtime tie and be evicted by its
-        # own put.
+        # own put. Grace-period entries (a peer's just-written checkpoints)
+        # are skipped the same way.
         ordered = sorted(entries)
         if protect is not None:
             candidates = [e for e in ordered if e[3] != protect]
         else:
             candidates = ordered[:-1]
-        for _mtime, _name, size, path in candidates:
+        for mtime, name, size, path in candidates:
             if total <= budget:
                 break
+            if mtime > fresh_after and name not in self._own_paths:
+                continue
+            maybe_fire("store-evict")  # chaos hook: kill-during-eviction
             try:
                 path.unlink()
             except OSError:
@@ -605,7 +686,16 @@ class ResultStore:
     def verify(self, *, repair: bool = False) -> VerifyReport:
         """Audit every entry: header readable and matching (format, salt,
         name vs content), payload deserialisable. ``repair=True`` deletes
-        the entries that fail."""
+        the entries that fail (under the store lock, so a repair sweep
+        cannot race a peer's eviction walk)."""
+        lock = self._mutation_lock() if repair else None
+        try:
+            return self._verify(repair=repair)
+        finally:
+            if lock is not None:
+                lock.release()
+
+    def _verify(self, *, repair: bool) -> VerifyReport:
         report = VerifyReport()
         for path in self._entry_paths():
             report.checked += 1
@@ -636,7 +726,18 @@ class ResultStore:
     def clear(self) -> Tuple[int, int]:
         """Delete every entry (and any orphaned temp file left by a killed
         writer); returns ``(removed, failed)`` so callers can tell a clean
-        sweep from unlinks an unwritable store silently refused."""
+        sweep from unlinks an unwritable store silently refused. Runs
+        under the store lock when one can be taken (best-effort: a
+        read-only root cannot host a lock file but unlinks there fail
+        anyway and are reported)."""
+        lock = self._mutation_lock()
+        try:
+            return self._clear()
+        finally:
+            if lock is not None:
+                lock.release()
+
+    def _clear(self) -> Tuple[int, int]:
         removed = 0
         failed = 0
         for path in self._entry_paths():

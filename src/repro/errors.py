@@ -50,6 +50,54 @@ class StoreError(EngineError):
     or a value has no stable fingerprint."""
 
 
+class LockTimeoutError(EngineError):
+    """An inter-process file lock could not be acquired within its timeout
+    (another process holds it for longer than expected)."""
+
+    def __init__(self, message: str, *, path=None, timeout_s: float = 0.0):
+        super().__init__(message)
+        self.path = path
+        self.timeout_s = timeout_s
+
+
+class CampaignError(ReproError):
+    """The campaign service layer was misconfigured or a job failed in a
+    way the service itself could not absorb."""
+
+
+class CampaignSpecError(CampaignError):
+    """A declarative campaign spec is invalid. Carries *every* problem
+    found (``issues``: a list of :class:`repro.campaign.spec.SpecIssue`),
+    each with the JSON path of the offending value, not just the first."""
+
+    def __init__(self, issues):
+        self.issues = list(issues)
+        lines = [f"  {issue.path}: {issue.message}" for issue in self.issues]
+        super().__init__(
+            "invalid campaign spec "
+            f"({len(self.issues)} problem{'s' if len(self.issues) != 1 else ''}):\n"
+            + "\n".join(lines)
+        )
+
+
+class JournalError(CampaignError):
+    """The job journal is unusable: unwritable location, a second writer
+    holds the journal lock, or corruption beyond the tolerated torn tail."""
+
+
+class BackpressureError(CampaignError):
+    """A submission was rejected because the service's bounded job queue is
+    full. Structured — never a silent drop: carries the observed queue
+    depth, the configured capacity and a retry-after estimate."""
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 max_queue: int = 0, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
+
+
 class SupervisionError(EngineError):
     """Base class for failures *synthesized by the engine supervisor* (as
     opposed to errors raised by task code): deadline expiries and poison-task

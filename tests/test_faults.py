@@ -35,8 +35,13 @@ from repro.engine import (
     run_tasks,
 )
 from repro.engine.faults import (
+    SITES_ENV,
     TransientFaultError,
     WorkerCrashError,
+    arm_sites,
+    maybe_fire,
+    reset_sites,
+    site_activations,
     unwrap_task,
 )
 from repro.engine.store import ResultStore, fingerprint_task
@@ -439,6 +444,94 @@ class TestSuperviseInternals:
         assert task.activations() == 1
         run_task(task)
         assert task.activations() == 2
+
+
+class TestFaultSites:
+    """Named fault sites: the orchestrator-side (service-level) chaos
+    hooks. Crash kinds genuinely ``os._exit`` the armed process, so the
+    subprocess legs live in the journal/service chaos suites; everything
+    else — arming, skip windows, counters, disarming — runs in-process
+    here."""
+
+    def test_unarmed_process_never_fires(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(SITES_ENV, raising=False)
+        maybe_fire("journal-write")  # no env: a no-op, not an error
+        # Armed directory, but this site was never armed: still a no-op,
+        # and the counter does not even tick.
+        monkeypatch.setenv(
+            SITES_ENV,
+            arm_sites(tmp_path, {"store-evict": FaultSpec("noop")})
+            [SITES_ENV],
+        )
+        maybe_fire("journal-write")
+        assert site_activations(tmp_path, "journal-write") == 0
+
+    def test_skip_opens_the_fault_window_late(self, monkeypatch, tmp_path):
+        # skip=1, times=2: pass, fail, fail, pass — the mechanism chaos
+        # tests use to kill a service at its k-th journal write.
+        monkeypatch.setenv(SITES_ENV, arm_sites(tmp_path, {
+            "journal-write": FaultSpec("transient", times=2, skip=1),
+        })[SITES_ENV])
+        maybe_fire("journal-write")
+        for _ in range(2):
+            with pytest.raises(TransientFaultError):
+                maybe_fire("journal-write")
+        maybe_fire("journal-write")
+        assert site_activations(tmp_path, "journal-write") == 4
+
+    def test_delay_and_noop_sites(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SITES_ENV, arm_sites(tmp_path, {
+            "service-batch": FaultSpec("delay", times=1, delay_s=0.0),
+            "service-between-jobs": FaultSpec("noop", times=-1),
+        })[SITES_ENV])
+        maybe_fire("service-batch")  # delay elapses, nothing raises
+        maybe_fire("service-between-jobs")
+        maybe_fire("service-between-jobs")
+        assert site_activations(tmp_path, "service-batch") == 1
+        assert site_activations(tmp_path, "service-between-jobs") == 2
+
+    def test_reset_disarms_and_forgets(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SITES_ENV, arm_sites(tmp_path, {
+            "journal-write": FaultSpec("transient", times=-1),
+        })[SITES_ENV])
+        with pytest.raises(TransientFaultError):
+            maybe_fire("journal-write")
+        reset_sites(tmp_path)
+        maybe_fire("journal-write")  # disarmed: fires nothing
+        assert site_activations(tmp_path, "journal-write") == 0
+
+    def test_rearming_overwrites_atomically(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SITES_ENV, arm_sites(tmp_path, {
+            "journal-write": FaultSpec("transient", times=-1),
+        })[SITES_ENV])
+        arm_sites(tmp_path, {"journal-write": FaultSpec("noop")})
+        maybe_fire("journal-write")  # now a noop; counter continues
+        assert site_activations(tmp_path, "journal-write") == 1
+
+    def test_torn_arming_file_never_faults(self, monkeypatch, tmp_path):
+        # A half-written .site file must fail safe: no fault, no count.
+        monkeypatch.setenv(SITES_ENV, str(tmp_path))
+        (tmp_path / "journal-write.site").write_text("transient\n")
+        maybe_fire("journal-write")
+        assert site_activations(tmp_path, "journal-write") == 0
+
+    def test_arm_sites_validation(self, tmp_path):
+        with pytest.raises(EngineError, match="FaultSpec"):
+            arm_sites(tmp_path, {"journal-write": "crash"})
+        with pytest.raises(EngineError, match="skip"):
+            FaultSpec("crash", skip=-1)
+
+    def test_task_fault_honours_skip(self, tmp_path):
+        # The same skip window on a task-level fault: first attempt
+        # passes, second fails, third passes.
+        plan = FaultPlan(
+            tmp_path, {0: FaultSpec("transient", times=1, skip=1)}
+        )
+        [task] = inject_faults(_tasks(1), plan)
+        assert run_task(task).error is None
+        assert isinstance(run_task(task).error, TransientFaultError)
+        assert run_task(task).error is None
+        assert plan.activations(0) == 3
 
 
 class TestSupervisionBenchmark:

@@ -1,0 +1,218 @@
+"""The write-ahead job journal: checksums, torn tails, single-writer."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.campaign.journal import JobJournal
+from repro.errors import JournalError
+
+
+def journal(tmp_path, **kw) -> JobJournal:
+    return JobJournal(tmp_path / "journal.jsonl", **kw)
+
+
+def test_empty_journal_replays_empty(tmp_path):
+    with journal(tmp_path) as j:
+        state = j.replay()
+    assert state.jobs == {}
+    assert state.last_seq == -1
+    assert not state.torn_tail
+
+
+def test_lifecycle_replay(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("submitted", job="job-0001", spec={"name": "a"},
+                 total_tasks=4)
+        j.append("running", job="job-0001", total_tasks=4)
+        j.append("progress", job="job-0001", done_tasks=2, total_tasks=4)
+        j.append("done", job="job-0001", done_tasks=4, total_tasks=4,
+                 digest="abc", result_path="r.pkl")
+        state = j.replay()
+    job = state.jobs["job-0001"]
+    assert job.state == "done"
+    assert job.done_tasks == 4 and job.total_tasks == 4
+    assert job.digest == "abc" and job.result_path == "r.pkl"
+    assert job.spec == {"name": "a"}
+    assert not job.active
+    assert state.incomplete == []
+
+
+def test_incomplete_jobs_in_submission_order(tmp_path):
+    with journal(tmp_path) as j:
+        for i in (1, 2, 3):
+            j.append("submitted", job=f"job-000{i}", spec={"name": str(i)})
+        j.append("running", job="job-0001")
+        j.append("done", job="job-0002", digest="x")
+        state = j.replay()
+    assert [job.job_id for job in state.incomplete] == [
+        "job-0001", "job-0003"
+    ]
+    assert state.next_job_number == 4
+
+
+def test_rejected_records_counted_not_jobs(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("rejected", name="overflow", queue_depth=8, max_queue=8)
+        state = j.replay()
+    assert state.rejected == 1
+    assert state.jobs == {}
+
+
+def test_torn_tail_tolerated(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("submitted", job="job-0001", spec={})
+        j.append("running", job="job-0001")
+    path = tmp_path / "journal.jsonl"
+    raw = path.read_bytes()
+    # Simulate a crash mid-append: half of one record, no newline.
+    path.write_bytes(raw + b'{"seq": 2, "event": "do')
+    state = JobJournal(path, writer=False).replay()
+    assert state.torn_tail
+    assert state.jobs["job-0001"].state == "running"
+    # A new writer resumes *after* the valid prefix.
+    with JobJournal(path) as j:
+        record = j.append("done", job="job-0001")
+    assert record["seq"] == 2
+
+
+def test_corruption_before_tail_raises(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("submitted", job="job-0001", spec={})
+        j.append("running", job="job-0001")
+        j.append("done", job="job-0001")
+    path = tmp_path / "journal.jsonl"
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[1] = b'{"seq": 1, "event": "garbage", "crc": "00000000"}\n'
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(JournalError, match="line 2"):
+        JobJournal(path, writer=False).replay()
+
+
+def test_bit_flip_detected_by_checksum(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("submitted", job="job-0001", spec={})
+        j.append("done", job="job-0001", digest="real")
+        j.append("checkpoint")
+    path = tmp_path / "journal.jsonl"
+    text = path.read_text()
+    # Flip the digest without recomputing the crc: valid JSON, wrong sum.
+    path.write_text(text.replace('"digest":"real"', '"digest":"fake"'))
+    with pytest.raises(JournalError, match="checksum"):
+        JobJournal(path, writer=False).replay()
+
+
+def test_sequence_regression_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    lines = []
+    for seq in (0, 0):  # two writers both starting at 0
+        record = {"seq": seq, "event": "submitted", "job": f"j{seq}"}
+        record["crc"] = format(
+            zlib.crc32(json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            ).encode()), "08x",
+        )
+        lines.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="sequence"):
+        JobJournal(path, writer=False).replay()
+
+
+def test_single_writer_enforced(tmp_path):
+    with journal(tmp_path) as first:
+        with pytest.raises(JournalError, match="another"):
+            journal(tmp_path)
+        # Readers are always fine.
+        reader = journal(tmp_path, writer=False)
+        assert not reader.is_writer
+        with pytest.raises(JournalError, match="read-only"):
+            reader.append("checkpoint")
+        first.append("checkpoint")
+    # Writer slot freed on close.
+    with journal(tmp_path) as second:
+        assert second.is_writer
+
+
+def test_unknown_event_rejected(tmp_path):
+    with journal(tmp_path) as j:
+        with pytest.raises(JournalError, match="unknown journal event"):
+            j.append("exploded", job="job-0001")
+
+
+def test_writer_resumes_sequence_across_reopen(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("submitted", job="job-0001", spec={})
+    with journal(tmp_path) as j:
+        record = j.append("running", job="job-0001")
+    assert record["seq"] == 1
+
+
+def test_compact_preserves_replay_state(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("service-start")
+        j.append("submitted", job="job-0001", spec={"name": "a"},
+                 total_tasks=6)
+        j.append("running", job="job-0001", total_tasks=6)
+        for done in (2, 4):
+            j.append("progress", job="job-0001", done_tasks=done,
+                     total_tasks=6)
+        j.append("done", job="job-0001", done_tasks=6, total_tasks=6,
+                 digest="d", result_path="p")
+        j.append("submitted", job="job-0002", spec={"name": "b"},
+                 total_tasks=2)
+        before = j.replay()
+        dropped = j.compact()
+        after = j.replay()
+    assert dropped > 0
+    assert after.jobs.keys() == before.jobs.keys()
+    for job_id in before.jobs:
+        b, a = before.jobs[job_id], after.jobs[job_id]
+        assert (a.state, a.done_tasks, a.total_tasks, a.digest, a.spec) == \
+               (b.state, b.done_tasks, b.total_tasks, b.digest, b.spec)
+    assert after.next_job_number == before.next_job_number
+
+
+def test_compacted_journal_appendable(tmp_path):
+    with journal(tmp_path) as j:
+        j.append("submitted", job="job-0001", spec={})
+        j.append("done", job="job-0001")
+        j.compact()
+        j.append("submitted", job="job-0002", spec={})
+        state = j.replay()
+    assert set(state.jobs) == {"job-0001", "job-0002"}
+
+
+def test_journal_write_fault_site_crashes_before_record(tmp_path):
+    """The write-ahead discipline under chaos: a crash armed at the
+    journal-write site dies *before* the bytes land."""
+    import multiprocessing
+
+    from repro.engine.faults import FaultSpec, arm_sites
+
+    mp = multiprocessing.get_context("fork")
+    sites = tmp_path / "sites"
+    env = arm_sites(sites, {
+        "journal-write": FaultSpec(kind="crash", times=1, skip=1,
+                                   exit_code=44),
+    })
+
+    def victim():
+        import os
+
+        os.environ.update(env)
+        with JobJournal(tmp_path / "journal.jsonl") as j:
+            j.append("submitted", job="job-0001", spec={})  # passes (skip)
+            j.append("running", job="job-0001")  # dies before writing
+
+    child = mp.Process(target=victim)
+    child.start()
+    child.join(30)
+    assert child.exitcode == 44
+    state = JobJournal(tmp_path / "journal.jsonl", writer=False).replay()
+    # The first record landed; the second never did — no third state.
+    assert state.jobs["job-0001"].state == "queued"
+    assert state.records == 1
