@@ -4,10 +4,11 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Recorded line-coverage floor for src/repro/engine (the chaos suite
 # drives the supervise/faults recovery paths; benchmark.py is exercised by
 # `make bench`, not unit tests, and counts honestly against the total).
-# Raised from 73 with the campaign-service suites (locks, fault sites).
-ENGINE_COV_FLOOR ?= 76
+# Raised from 76 with the analysis suite (stagecache fingerprints, locks,
+# journal writer guards ride along with the linter's regression tests).
+ENGINE_COV_FLOOR ?= 77
 
-.PHONY: help test test-fast check coverage chaos serve-smoke bench \
+.PHONY: help test test-fast lint check coverage chaos serve-smoke bench \
 	bench-full benchmarks
 
 help:
@@ -15,7 +16,10 @@ help:
 	@echo "  make test       - full tier-1 pytest suite"
 	@echo "  make test-fast  - tier-1 suite minus the 'slow' marker"
 	@echo "                    (annealer/simulator/experiment-heavy tests)"
-	@echo "  make check      - compileall smoke + stage-salt lint + full"
+	@echo "  make lint       - contract linter (repro.analysis): stage input"
+	@echo "                    declarations, determinism, pickling safety,"
+	@echo "                    lock discipline, stage salts"
+	@echo "  make check      - compileall smoke + contract linter + full"
 	@echo "                    tier-1 suite"
 	@echo "  make coverage   - engine-focused tests under line coverage of"
 	@echo "                    src/repro/engine; fails below $(ENGINE_COV_FLOOR)%"
@@ -37,11 +41,17 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
-# The CI gate: a whole-tree import/compile smoke, the stage-salt lint
-# (a changed Stage.run must bump its cache salt), then the full suite.
+# The contract linter: every RPL### invariant (stage input declarations,
+# determinism, pickling safety, lock discipline, stage salts) over
+# src/repro. Exits non-zero on any unsuppressed finding.
+lint:
+	$(PYTHON) -m repro.cli lint
+
+# The CI gate: a whole-tree import/compile smoke, the contract linter
+# (which subsumes the old stage-salt check), then the full suite.
 check:
 	$(PYTHON) -m compileall -q src
-	$(PYTHON) tools/check_stage_salts.py
+	$(PYTHON) -m repro.cli lint
 	$(PYTHON) -m pytest -x -q
 
 # Engine coverage gate: settrace-based line coverage (no external coverage
@@ -52,7 +62,8 @@ coverage:
 	    tests/test_cache_cli.py tests/test_stagecache.py \
 	    tests/test_paths_micro_bench.py tests/test_faults.py \
 	    tests/test_locks.py tests/test_journal.py \
-	    tests/test_campaign_spec.py tests/test_campaign_service.py
+	    tests/test_campaign_spec.py tests/test_campaign_service.py \
+	    tests/test_analysis.py
 
 # The chaos gate: retries, deadlines, quarantine, Ctrl-C and resume under
 # deterministic injected faults (transient failures, worker crashes,

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — alias for ``python -m repro.cli lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", *sys.argv[1:]]))

@@ -52,7 +52,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.engine.faults import maybe_fire
-from repro.engine.locks import FileLock
+from repro.engine.locks import FileLock, asserts_lock, requires_lock
 from repro.errors import JournalError, LockTimeoutError
 
 #: Events that change a job's lifecycle state — these are fsync'd.
@@ -176,6 +176,20 @@ class JobJournal:
 
     # -- writing ----------------------------------------------------------
 
+    @asserts_lock("journal")
+    def _require_writer(self, action: str) -> None:
+        """Raise unless this instance holds the journal's writer lock.
+
+        The lock-discipline checker treats a call to this guard as proof
+        that the lock is held for the rest of the function — which is
+        exactly its runtime behaviour: past this line, either ``_lock`` is
+        a held :class:`FileLock` or the caller has raised.
+        """
+        if not self.is_writer:
+            raise JournalError(
+                f"journal {self.path} opened read-only; cannot {action}"
+            )
+
     def append(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Write one record; fsync'd when ``event`` is a state transition.
 
@@ -184,27 +198,29 @@ class JobJournal:
         write-ahead property: either the record is fully on disk or the
         transition never happened — no third possibility.
         """
-        if not self.is_writer:
-            raise JournalError(
-                f"journal {self.path} opened read-only; cannot append"
-            )
+        self._require_writer("append")
         if event not in STATE_EVENTS and event not in INFO_EVENTS:
             raise JournalError(f"unknown journal event {event!r}")
         maybe_fire("journal-write")
         self._seq += 1
         record = {"seq": self._seq, "event": event, **fields}
         record["crc"] = _crc(record)
+        self._write_record(record, fsync=event in STATE_EVENTS)
+        return record
+
+    @requires_lock("journal")
+    def _write_record(self, record: Dict[str, Any], *, fsync: bool) -> None:
+        """Land one already-checksummed record at the end of the file."""
         line = _canonical(record) + "\n"
         fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         try:
             os.write(fd, line.encode("utf-8"))
-            if event in STATE_EVENTS:
+            if fsync:
                 os.fsync(fd)
         finally:
             os.close(fd)
-        return record
 
     def compact(self, state: Optional[JournalState] = None) -> int:
         """Atomically rewrite the journal with one summary record per job.
@@ -214,12 +230,13 @@ class JobJournal:
         resulting journal replays to the *same* :class:`JournalState`.
         Returns the number of records dropped.
         """
-        if not self.is_writer:
-            raise JournalError(
-                f"journal {self.path} opened read-only; cannot compact"
-            )
+        self._require_writer("compact")
         if state is None:
             state = self.replay()
+        return self._compact_locked(state)
+
+    @requires_lock("journal")
+    def _compact_locked(self, state: JournalState) -> int:
         tmp = self.path.with_suffix(".tmp")
         seq = -1
         with open(tmp, "w") as handle:

@@ -271,6 +271,29 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("id", help="experiment id (e.g. table1, fig11, fig23)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the contract linter (repro.analysis) over src/repro: "
+             "stage input declarations, determinism, pickling safety, "
+             "lock discipline, stage salts",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: this installation's src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    lint.add_argument("--checkers", metavar="NAME[,NAME...]", default=None,
+                      help="run only these checkers (see --list)")
+    lint.add_argument("--list", action="store_true", dest="list_checkers",
+                      help="list registered checkers and finding codes, "
+                           "then exit")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="accept the findings recorded in FILE "
+                           "(historical debt); new findings still fail")
+    lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                      help="write the current findings to FILE and exit 0 "
+                           "(adopting them as accepted debt)")
+
     sub.add_parser("benchmarks", help="list built-in benchmarks")
     return parser
 
@@ -829,6 +852,54 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the contract linter; exit 1 on any unsuppressed finding.
+
+    The analysis package is imported lazily so every other CLI command
+    stays import-light.
+    """
+    from pathlib import Path
+
+    from repro.analysis import (
+        CHECKER_REGISTRY, Baseline, format_report, known_codes, lint_paths,
+        run_checkers, load_corpus, resolve_checkers,
+    )
+
+    if args.list_checkers:
+        for name, cls in CHECKER_REGISTRY.items():
+            print(name)
+            for code, description in sorted(cls.codes.items()):
+                print(f"  {code}  {description}")
+        print("framework")
+        for code, description in sorted(
+            c for c in known_codes().items() if c[0].startswith("RPL0")
+        ):
+            print(f"  {code}  {description}")
+        return 0
+
+    package_dir = Path(__file__).resolve().parent      # .../src/repro
+    project_root = package_dir.parent.parent
+    paths = args.paths or [package_dir]
+    checkers = args.checkers.split(",") if args.checkers else None
+
+    if args.write_baseline:
+        context = load_corpus(paths, project_root=project_root)
+        report = run_checkers(context, resolve_checkers(checkers))
+        Baseline.write(args.write_baseline, report.findings)
+        print(f"wrote {args.write_baseline} "
+              f"({len(report.findings)} accepted finding(s))")
+        return 0
+
+    report = lint_paths(
+        paths,
+        project_root=project_root,
+        checkers=checkers,
+        baseline=args.baseline,
+    )
+    print(format_report(report, as_json=args.json))
+    return 0 if report.clean else 1
+
+
 def _cmd_benchmarks() -> int:
     for name in list_benchmarks():
         bench = get_benchmark(name)
@@ -856,6 +927,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "benchmarks":
             return _cmd_benchmarks()
     except ReproError as exc:

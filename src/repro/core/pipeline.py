@@ -401,7 +401,7 @@ class SkeletonStage(Stage):
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         try:
             state.topology = build_topology_skeleton(
-                state.assignment, ctx.graph, ctx.library, ctx.config,
+                state.assignment, ctx.graph, ctx.library, ctx.config,  # repro: noqa[RPL106] -- paths.py reads exactly _PATHS_CONFIG_INPUTS, pinned by test_pipeline_decl_paths_config_inputs
                 ctx.core_centers,
             )
         except PathComputationError as exc:
@@ -424,7 +424,7 @@ class RoutingStage(Stage):
     def run(self, ctx: FlowContext, state: CandidateState) -> None:
         try:
             compute_paths(
-                state.topology, ctx.graph, ctx.library, ctx.config,
+                state.topology, ctx.graph, ctx.library, ctx.config,  # repro: noqa[RPL106] -- paths.py reads exactly _PATHS_CONFIG_INPUTS, pinned by test_pipeline_decl_paths_config_inputs
                 ctx.core_centers,
             )
         except PathComputationError as exc:
@@ -558,7 +558,7 @@ class FloorplanStage(Stage):
                     placed = constrained_insert(
                         existing, new_components, seed=ctx.config.seed,
                         restarts=ctx.config.floorplan_restarts,
-                        jobs=ctx.config.floorplan_jobs,
+                        jobs=ctx.config.floorplan_jobs,  # repro: noqa[RPL102] -- parallelism knob, results-invariant (test_floorplan_jobs_fingerprint_invariant); declaring it would split the cache by jobs=
                     )
             else:
                 placed = existing

@@ -26,6 +26,23 @@ Locks are *advisory*: every writer of the shared tree must go through the
 same lock path. Within this repo those writers are
 :meth:`repro.engine.store.ResultStore.evict` / ``clear`` / ``verify
 (repair=True)`` and the campaign journal's single-writer guard.
+
+Because advisory locks only work if every call site cooperates, the
+discipline itself is lint-enforced (``make lint``, checker
+``lock-discipline``, code RPL401). Three zero-runtime-cost markers
+declare each function's role in the protocol:
+
+* :func:`requires_lock` — the function **assumes** the named lock is held
+  by its caller (the ``_locked`` internals);
+* :func:`acquires_lock` — calling the function takes, or returns a holder
+  of, the named lock (``ResultStore._mutation_lock``);
+* :func:`asserts_lock` — the function verifies ownership and raises when
+  it is absent (``JobJournal._require_writer``).
+
+The linter then proves every call to a ``requires_lock`` function happens
+in a context that holds the lock. The markers attach attributes and
+return the function unchanged — no wrapper frame, no runtime dependency
+on the analysis package.
 """
 
 from __future__ import annotations
@@ -44,6 +61,42 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 #: How often a blocked ``acquire`` re-tries the non-blocking flock.
 _POLL_S = 0.01
+
+
+def requires_lock(name: str):
+    """Mark a function as assuming the named lock is already held.
+
+    The ``lock-discipline`` checker (RPL401) proves every call site of a
+    function carrying this marker holds ``name`` — by being marked
+    itself, by a lexically-earlier call to an :func:`acquires_lock` /
+    :func:`asserts_lock` function, or by a ``with FileLock(...)``.
+    """
+
+    def mark(fn):
+        fn.__requires_lock__ = name
+        return fn
+
+    return mark
+
+
+def acquires_lock(name: str):
+    """Mark a function as taking (or returning a holder of) the lock."""
+
+    def mark(fn):
+        fn.__acquires_lock__ = name
+        return fn
+
+    return mark
+
+
+def asserts_lock(name: str):
+    """Mark a function as verifying lock ownership, raising when absent."""
+
+    def mark(fn):
+        fn.__asserts_lock__ = name
+        return fn
+
+    return mark
 
 
 class FileLock:

@@ -57,7 +57,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.engine.locks import FileLock
+from repro.engine.locks import FileLock, acquires_lock, requires_lock
 from repro.errors import LockTimeoutError, StoreError
 
 #: Bump when a code change invalidates previously stored results (routing,
@@ -362,6 +362,7 @@ class ResultStore:
         self._own_paths: set = set()
         self._prepare_root()
 
+    @acquires_lock("store")
     def _mutation_lock(self, *, wait: bool = True) -> Optional[FileLock]:
         """A held store-wide lock for a multi-file mutation, or ``None``
         when it could not be taken (busy peer / unwritable root): the
@@ -524,7 +525,7 @@ class ResultStore:
             "salt": self.salt,
             "task_type": task_type,
             "elapsed_s": float(elapsed_s),
-            "created_s": time.time(),
+            "created_s": time.time(),  # repro: noqa[RPL202] -- bookkeeping clock; the header never enters a fingerprint
         }
         path = self._path(fingerprint)
         try:
@@ -621,12 +622,13 @@ class ResultStore:
         finally:
             lock.release()
 
+    @requires_lock("store")
     def _evict_locked(self, budget: int, protect: Optional[Path]) -> int:
         from repro.engine.faults import maybe_fire
 
         entries = []
         total = 0
-        fresh_after = time.time() - self.evict_grace_s
+        fresh_after = time.time() - self.evict_grace_s  # repro: noqa[RPL202] -- eviction grace clock, compared to mtimes only; never fingerprinted
         for path in self._entry_paths():
             try:
                 st = path.stat()
@@ -695,6 +697,9 @@ class ResultStore:
             if lock is not None:
                 lock.release()
 
+    # requires the lock for its repair mode (unlinks race a peer's
+    # eviction walk); the read-only path rides along under it.
+    @requires_lock("store")
     def _verify(self, *, repair: bool) -> VerifyReport:
         report = VerifyReport()
         for path in self._entry_paths():
@@ -737,6 +742,7 @@ class ResultStore:
             if lock is not None:
                 lock.release()
 
+    @requires_lock("store")
     def _clear(self) -> Tuple[int, int]:
         removed = 0
         failed = 0

@@ -1,0 +1,26 @@
+"""Fixture: every determinism violation.
+
+Never imported — parsed by the determinism checker in
+tests/test_analysis.py. Each ``# expect: CODE`` comment pins the exact
+finding code(s) and line the checker must report.
+"""
+
+import os
+import time
+import random  # expect: RPL201
+from random import shuffle  # expect: RPL201
+from datetime import datetime
+
+import numpy as np
+
+
+def draws(n):
+    values = [random.random() for _ in range(n)]
+    when = time.time()  # expect: RPL202
+    stamp = datetime.now()  # expect: RPL202
+    entropy = os.urandom(8)  # expect: RPL202
+    noise = np.random.rand(n)  # expect: RPL203
+    np.random.seed(0)  # expect: RPL203
+    rng = np.random.default_rng(7)  # expect: RPL204
+    other = random.Random(13)  # expect: RPL204
+    return values, when, stamp, entropy, noise, rng, other

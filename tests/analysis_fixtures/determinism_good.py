@@ -1,0 +1,15 @@
+"""Fixture: determinism-clean code — all randomness via make_rng,
+timing via the monotonic clocks. Never imported."""
+
+import time
+
+from repro.rng import make_rng
+
+
+def sample(config, n):
+    rng = make_rng(config.seed, "sampling")
+    t0 = time.perf_counter()
+    draws = [rng.random() for _ in range(n)]
+    elapsed = time.perf_counter() - t0
+    deadline = time.monotonic() + 5.0
+    return draws, elapsed, deadline

@@ -1,0 +1,33 @@
+"""Fixture: lock-discipline violations.
+
+Never imported — parsed by the lock-discipline checker in
+tests/test_analysis.py. Each ``# expect: CODE`` comment pins the exact
+finding code(s) and line the checker must report.
+"""
+
+from repro.engine.locks import acquires_lock, requires_lock
+
+
+@acquires_lock("store")
+def take_store_lock(root):
+    return object()
+
+
+@requires_lock("store")
+def walk_and_unlink(root):
+    for path in root.glob("*"):
+        path.unlink()
+
+
+def naked_call(root):
+    walk_and_unlink(root)  # expect: RPL401
+
+
+def acquire_too_late(root):
+    walk_and_unlink(root)  # expect: RPL401
+    take_store_lock(root)
+
+
+@requires_lock  # expect: RPL402
+def anonymous_requirement(root):
+    pass

@@ -1,0 +1,49 @@
+"""Fixture: lock discipline observed in every sanctioned way.
+Never imported — parsed by the lock-discipline checker."""
+
+from repro.engine.locks import (
+    FileLock, acquires_lock, asserts_lock, requires_lock,
+)
+
+
+@acquires_lock("store")
+def take_store_lock(root):
+    lock = FileLock(root / ".lock")
+    lock.acquire()
+    return lock
+
+
+@asserts_lock("store")
+def verify_store_lock(holder):
+    if holder is None:
+        raise RuntimeError("store lock not held")
+
+
+@requires_lock("store")
+def walk_and_unlink(root):
+    for path in root.glob("*"):
+        path.unlink()
+
+
+@requires_lock("store")
+def chained_internal(root):
+    # requires -> requires: the obligation moves up to our caller.
+    walk_and_unlink(root)
+
+
+def evict(root):
+    lock = take_store_lock(root)
+    try:
+        walk_and_unlink(root)
+    finally:
+        lock.release()
+
+
+def repair(root, holder):
+    verify_store_lock(holder)
+    walk_and_unlink(root)
+
+
+def inline_lock(root):
+    with FileLock(root / ".lock"):
+        walk_and_unlink(root)

@@ -1,0 +1,35 @@
+"""Fixture: every pickling violation in a ``*Task`` payload.
+
+Never imported — parsed by the pickling checker in
+tests/test_analysis.py. Each ``# expect: CODE`` comment pins the exact
+finding code(s) and line the checker must report.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+
+def ticket_stream():
+    n = 0
+    while True:
+        yield n
+        n += 1
+
+
+@dataclass
+class LeakyTask:
+    key: str
+    transform = staticmethod(lambda x: x)  # expect: RPL301
+    tickets = ticket_stream()  # expect: RPL302
+    guard = threading.Lock()  # expect: RPL303
+    sink = open("/dev/null", "w")  # expect: RPL304
+    factory_made: object = field(default_factory=lambda: object())  # expect: RPL301
+
+    def attach(self, path):
+        def local_helper(x):
+            return x + 1
+
+        self.hook = local_helper  # expect: RPL301
+        self.numbers = (n * n for n in range(10))  # expect: RPL302
+        self.lock = threading.RLock()  # expect: RPL303
+        self.handle = open(path)  # expect: RPL304

@@ -1,0 +1,22 @@
+"""Fixture: a pickling-clean task payload (frozen dataclass, plain data).
+Never imported."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CleanTask:
+    key: str
+    weights: Tuple[float, ...] = (1.0, 0.5)
+    options: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self):
+        return f"{self.key}: {len(self.weights)} weights"
+
+
+class NotATaskResult:
+    """Name ends in Result — outside the payload convention, unchecked."""
+
+    def __init__(self):
+        self.callback = lambda: None

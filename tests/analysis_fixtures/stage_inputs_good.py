@@ -1,0 +1,62 @@
+"""Fixture: a stage whose declarations exactly match what run() touches.
+
+Never imported — parsed by the stage-inputs checker in tests/test_analysis.py.
+"""
+
+_SHARED_CONFIG_INPUTS = ("alpha", "beta")
+
+
+def helper(ctx, state):
+    return ctx.library.cost(state.topology)
+
+
+class Stage:
+    pass
+
+
+class GoodStage(Stage):
+    name = "good"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("graph", "library")
+    config_inputs = _SHARED_CONFIG_INPUTS
+    state_inputs = ("topology",)
+    state_outputs = ("score", "topology")
+
+    def run(self, ctx, state):
+        weight = ctx.config.alpha + ctx.config.beta
+        base = helper(ctx, state)
+        state.score = weight * base + self._extra(ctx)
+        # Read-after-own-write: not a cache input.
+        state.topology = state.score and state.topology
+
+    def _extra(self, ctx):
+        return len(ctx.graph.edges)
+
+
+class WholeConfigStage(Stage):
+    name = "whole-config"
+    salt = "v1"
+    cacheable = True
+    context_inputs = ("graph",)
+    config_inputs = "*"
+    state_inputs = ("topology",)
+    state_outputs = ("score",)
+
+    def run(self, ctx, state):
+        state.score = evaluate(state.topology, ctx.graph, ctx.config)
+
+
+class UncachedStage(Stage):
+    """Not cacheable: free to read whatever it likes."""
+
+    name = "uncached"
+    cacheable = False
+    context_inputs = ()
+
+    def run(self, ctx, state):
+        state.anything = ctx.whatever + ctx.config.mystery
+
+
+def evaluate(topology, graph, config):
+    return 0

@@ -1,0 +1,21 @@
+"""Fixture: suppression handling — used, reasonless, unknown, unused.
+
+Never imported — parsed in tests/test_analysis.py with the determinism
+checker active. Each ``# expect: CODE`` comment pins a *framework*
+finding; the first line's suppression is correct and must silence its
+RPL202 without any finding at all.
+"""
+
+import time
+
+
+def stamps():
+    ok = time.time()  # repro: noqa[RPL202] -- fixture: sanctioned clock read
+    return ok
+
+
+def bad_suppressions():
+    a = time.time()  # repro: noqa[RPL202]  # expect: RPL002
+    b = time.time()  # repro: noqa[RPL999] -- no checker owns RPL999  # expect: RPL003, RPL202
+    c = 1 + 1  # repro: noqa[RPL202] -- nothing here to suppress  # expect: RPL001
+    return a, b, c

@@ -1,34 +1,27 @@
 #!/usr/bin/env python
-"""Lint: a changed ``Stage.run`` body must come with a salt bump.
+"""Deprecation shim: the stage-salt check now lives in ``repro.analysis``.
 
-Stage-cache fingerprints (:mod:`repro.engine.stagecache`) cover a stage's
-*declared inputs* plus its ``salt`` — not its code. If ``run()`` changes
-behaviour but the salt stays put, stale cached records keep getting served
-and warm runs silently diverge from cold ones. This check makes that
-mistake loud at ``make check`` time:
+The check itself — a changed ``Stage.run`` body must come with a salt
+bump, recorded in ``tools/stage_salts.json`` — is the ``stage-salts``
+checker (codes RPL501–RPL504) of the contract linter; run it with::
 
-* ``tools/stage_salts.json`` records, for every stage of the default
-  pipeline, its current ``salt`` and the SHA-256 of its ``run()`` source;
-* check mode (the default) recomputes both and fails on any drift, with a
-  message saying whether the salt bump or the manifest refresh is missing;
-* ``--update`` rewrites the manifest — run it *after* bumping the salt.
+    python -m repro.cli lint --checkers stage-salts
 
-A pure refactor of ``run()`` that provably preserves outputs may keep the
-salt (cached records stay valid); the manifest still needs ``--update`` so
-the new source hash is on record. See ``docs/pipeline.md``
-("Salt policy").
+or as part of the full linter via ``make lint`` / ``make check``. This
+script remains for two reasons: existing docs/automation invoke it, and
+``--update`` (refreshing the manifest after a legitimate salt bump or an
+output-preserving refactor) is a *mutation*, which the linter — a pure
+reporter — deliberately does not perform.
 
 Usage::
 
-    python tools/check_stage_salts.py            # lint (make check)
+    python tools/check_stage_salts.py            # delegate to the linter
     python tools/check_stage_salts.py --update   # refresh the manifest
 """
 
 from __future__ import annotations
 
 import argparse
-import hashlib
-import inspect
 import json
 import sys
 from pathlib import Path
@@ -39,79 +32,31 @@ MANIFEST = REPO_ROOT / "tools" / "stage_salts.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def current_stages() -> dict:
-    """``{stage name: {"salt": ..., "run_sha256": ...}}`` for the default
-    pipeline, in pipeline order."""
-    from repro.core.pipeline import build_pipeline
-
-    out = {}
-    for stage in build_pipeline().stages:
-        source = inspect.getsource(type(stage).run)
-        out[stage.name] = {
-            "salt": stage.salt,
-            "run_sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
-        }
-    return out
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="rewrite the manifest from the current sources")
     args = parser.parse_args(argv)
 
-    stages = current_stages()
     if args.update:
+        from repro.analysis.stage_salts import current_stages
+
+        stages = current_stages()
         MANIFEST.write_text(json.dumps(stages, indent=2) + "\n")
         print(f"wrote {MANIFEST.relative_to(REPO_ROOT)} "
               f"({len(stages)} stages)")
         return 0
 
-    if not MANIFEST.exists():
-        print(f"error: {MANIFEST.relative_to(REPO_ROOT)} missing; "
-              "run tools/check_stage_salts.py --update and commit it")
-        return 1
-    recorded = json.loads(MANIFEST.read_text())
+    from repro.analysis import format_report, lint_paths
 
-    problems = []
-    for name, cur in stages.items():
-        old = recorded.get(name)
-        if old is None:
-            problems.append(
-                f"{name}: new stage not in the manifest "
-                "(run --update and commit)"
-            )
-        elif cur["run_sha256"] != old["run_sha256"]:
-            if cur["salt"] == old["salt"]:
-                problems.append(
-                    f"{name}: run() changed but salt is still "
-                    f"{cur['salt']!r} — bump Stage.salt so stale cached "
-                    "records are invalidated (or, for a provably "
-                    "output-preserving refactor, just run --update)"
-                )
-            else:
-                problems.append(
-                    f"{name}: salt bumped to {cur['salt']!r} — refresh the "
-                    "manifest with --update and commit it"
-                )
-        elif cur["salt"] != old["salt"]:
-            problems.append(
-                f"{name}: salt changed to {cur['salt']!r} with run() "
-                "untouched — refresh the manifest with --update"
-            )
-    for name in recorded:
-        if name not in stages:
-            problems.append(
-                f"{name}: in the manifest but not in the default pipeline "
-                "(run --update)"
-            )
-
-    if problems:
-        print("stage-salt check failed:")
-        for problem in problems:
-            print(f"  {problem}")
+    report = lint_paths(
+        [REPO_ROOT / "src" / "repro"],
+        project_root=REPO_ROOT,
+        checkers=["stage-salts"],
+    )
+    print(format_report(report))
+    if not report.clean:
         return 1
-    print(f"stage salts ok ({len(stages)} stages)")
     return 0
 
 
