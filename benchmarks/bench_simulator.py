@@ -19,7 +19,17 @@ section of ``BENCH_engine.json``), echoes the numbers, and asserts
   parallel leg beats the serial one by >= 2x wall-clock. On smaller boxes
   (CI containers pinned to one core) the speedup is recorded but not
   asserted, since a CPU-bound speedup beyond the core count is physically
-  impossible.
+  impossible;
+* the vectorised K-replication batch engine (:mod:`repro.noc.batchengine`)
+  delivers >= 10x the replications/sec of the pre-vectorisation
+  per-process campaign loop — solo frozen-reference runs, one replication
+  per process, the same baseline as the single-thread gate, so the floors
+  compose (the array engine bought ~4x per run; batching takes the same
+  comparison past 10x). Both sides run single-process on one core, so the
+  floor is CPU-count independent. The further batch-vs-solo-array-engine
+  ratio is recorded ungated, and a traced small batch is asserted
+  bit-identical — stats and per-cycle trajectories — to solo engine runs
+  and the frozen reference, replication by replication.
 """
 
 import pytest
@@ -29,6 +39,7 @@ from repro.engine.benchmark import run_simulator_benchmark
 CAMPAIGN_JOBS = 4
 SINGLE_THREAD_SPEEDUP_FLOOR = 3.0
 CAMPAIGN_SPEEDUP_FLOOR = 2.0
+BATCH_PER_CORE_SPEEDUP_FLOOR = 10.0
 
 
 def _run():
@@ -42,18 +53,31 @@ def test_simulator_engine_speedup(benchmark):
           f"single-thread={report['speedup']}x "
           f"({report['engine_cycles_per_s']:,.0f} cycles/s) "
           f"saturation={report['saturation']['speedup']}x "
-          f"campaign={report['campaign']['speedup']}x")
+          f"campaign={report['campaign']['speedup']}x "
+          f"batch={report['batch']['speedup_vs_reference']}x/core")
 
     # Bit-identity is the contract that makes the speedup meaningful.
     assert report["identical_results"]
     assert report["saturation"]["identical_results"]
     assert report["campaign"]["identical_results"]
+    assert report["batch"]["identical_trajectories"]
 
     # Single-threaded cycles/sec at validation load: same core, so the
     # floor holds everywhere.
     assert report["speedup"] >= SINGLE_THREAD_SPEEDUP_FLOOR, (
         f"simulator engine speedup {report['speedup']}x below "
         f"{SINGLE_THREAD_SPEEDUP_FLOOR}x"
+    )
+
+    # Batch engine: replications/sec on one core vs the per-process
+    # reference loop on the same core — single-process on both sides, so
+    # the floor is CPU-count independent.
+    batch = report["batch"]
+    assert batch["speedup_vs_reference"] >= BATCH_PER_CORE_SPEEDUP_FLOOR, (
+        f"batch engine {batch['speedup_vs_reference']}x per core (K="
+        f"{batch['replications']}, {batch['batch_reps_per_s']} reps/s vs "
+        f"{batch['reference_reps_per_s']} reps/s per-process reference) "
+        f"below {BATCH_PER_CORE_SPEEDUP_FLOOR}x"
     )
 
     # Campaign scaling: only meaningful with cores to run on.

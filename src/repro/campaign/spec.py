@@ -20,7 +20,11 @@ Two campaign kinds cover the paper's two experiment families:
   design point (store-backed, so a resumed campaign re-derives the
   *identical* topology from cache), then one
   :class:`~repro.engine.tasks.SimulationTask` per
-  (scenario × injection scale × seed).
+  (scenario × injection scale × seed) — or, with ``"batch": K``, one
+  :class:`~repro.engine.tasks.BatchSimulationTask` per seed chunk of up
+  to ``K`` on the vectorised lockstep engine. Per-replication results
+  and store fingerprints are identical either way, so batched and solo
+  campaigns resume through the same cache entries.
 
 Validation philosophy matches :mod:`repro.spec.validate` but goes one step
 further: :func:`validate_campaign` returns **every** problem it can find,
@@ -53,7 +57,7 @@ COMMON_KEYS = ("name", "kind", "benchmark", "dims", "config")
 SWEEP_KEYS = ("grid", "stages")
 SIM_KEYS = (
     "scenarios", "seeds", "injection_scales", "cycles", "warmup",
-    "packet_length_flits",
+    "packet_length_flits", "batch",
 )
 
 GRID_KEYS = (
@@ -98,6 +102,10 @@ class CampaignSpec:
     cycles: int = 4_000
     warmup: int = 400
     packet_length_flits: int = 4
+    #: Replications per engine task: ``None``/``1`` = one task per seed,
+    #: ``K > 1`` = seeds batched K at a time onto the vectorised lockstep
+    #: engine. Results and store fingerprints are identical either way.
+    batch: Optional[int] = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -131,7 +139,7 @@ class CampaignSpec:
             ):
                 if data.get(key) is not None:
                     kwargs[key] = tuple(cast(v) for v in data[key])
-            for key in ("cycles", "warmup", "packet_length_flits"):
+            for key in ("cycles", "warmup", "packet_length_flits", "batch"):
                 if data.get(key) is not None:
                     kwargs[key] = int(data[key])
         return cls(**kwargs)
@@ -157,6 +165,8 @@ class CampaignSpec:
                 cycles=self.cycles, warmup=self.warmup,
                 packet_length_flits=self.packet_length_flits,
             )
+            if self.batch is not None:
+                out["batch"] = self.batch
         return out
 
     def base_config(self):
@@ -187,9 +197,10 @@ class CampaignSpec:
         (excluding a sim campaign's store-backed synthesis prestep)."""
         if self.kind == "sweep":
             return self.parameter_grid().size
-        return (
-            len(self.scenarios) * len(self.seeds) * len(self.injection_scales)
-        )
+        per_point = len(self.seeds)
+        if self.batch is not None and self.batch > 1:
+            per_point = -(-len(self.seeds) // self.batch)  # ceil division
+        return len(self.scenarios) * per_point * len(self.injection_scales)
 
 
 def validate_campaign(data: Any) -> List[SpecIssue]:
@@ -297,6 +308,28 @@ def compile_campaign(
             f"(benchmark {spec.benchmark}, dims {spec.dims}): {exc}"
         )
     scenario_objs = [make_scenario(s) for s in spec.scenarios]
+    if spec.batch is not None and spec.batch > 1:
+        from repro.engine.tasks import BatchSimulationTask
+
+        chunks = [
+            spec.seeds[i:i + spec.batch]
+            for i in range(0, len(spec.seeds), spec.batch)
+        ]
+        return [
+            BatchSimulationTask(
+                key=(scen.label(), scale, chunk),
+                topology=point.topology,
+                seeds=chunk,
+                packet_length_flits=spec.packet_length_flits,
+                cycles=spec.cycles,
+                warmup=spec.warmup,
+                injection_scale=scale,
+                scenario=scen,
+            )
+            for scen in scenario_objs
+            for scale in spec.injection_scales
+            for chunk in chunks
+        ]
     return [
         SimulationTask(
             key=(scen.label(), scale, seed),
@@ -484,7 +517,7 @@ def _check_sim(data: Mapping, issues: List[SpecIssue]) -> None:
                 issues.append(SpecIssue(f"{key}[{i}]", problem))
     for key, check in (
         ("cycles", _positive_int), ("warmup", _non_negative_int),
-        ("packet_length_flits", _positive_int),
+        ("packet_length_flits", _positive_int), ("batch", _positive_int),
     ):
         value = data.get(key)
         if value is None:

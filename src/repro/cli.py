@@ -161,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the campaign (0 = one per "
                           "CPU, 1 = serial; results are identical either "
                           "way)")
+    sim.add_argument("--batch", type=int, default=1,
+                     help="replications per engine task (1 = one task per "
+                          "seed; K > 1 batches each scenario/scale's seeds "
+                          "K at a time onto the vectorised lockstep engine; "
+                          "results are identical either way)")
     sim.add_argument("--quiet", action="store_true",
                      help="suppress per-run progress lines")
     _add_cache_args(sim)
@@ -628,6 +633,7 @@ def _cmd_sim(args) -> int:
         scenarios=scenarios,
         seeds=_parse_values(args.seeds, int, "seed"),
         jobs=args.jobs,
+        batch=args.batch,
         progress=progress,
         store=store,
         **_supervision_kwargs(args),

@@ -82,6 +82,7 @@ from repro.engine.stagecache import (
 from repro.engine.store import ResultStore, fingerprint_task, open_store
 from repro.engine.supervise import RetryPolicy
 from repro.engine.tasks import (
+    BatchSimulationTask,
     CandidateTask,
     SimulationTask,
     SynthesisTask,
@@ -95,6 +96,7 @@ from repro.errors import (
 )
 
 __all__ = [
+    "BatchSimulationTask",
     "CandidateTask",
     "FaultPlan",
     "FaultSpec",

@@ -773,6 +773,12 @@ _SIM_SEED = 5
 #: The parallel traffic-campaign leg: seeds × injection scales.
 _SIM_CAMPAIGN_SEEDS = (0, 1)
 _SIM_CAMPAIGN_SCALES = (0.3, 0.8)
+#: Replications in the vectorised batch leg (trimmed in full mode where
+#: the 3x longer horizon already amortises the schedule build).
+_SIM_BATCH_K_QUICK = 512
+_SIM_BATCH_K_FULL = 256
+#: Replications in the batch leg's trajectory-identity check (traces on).
+_SIM_BATCH_IDENTITY_K = 4
 
 
 def _bench_simulator(
@@ -786,7 +792,9 @@ def _bench_simulator(
     simulation-machinery cost. The single-thread claim is gated at the
     validation load (``_SIM_GATE_SCALE``); a saturation point is recorded
     for the trajectory without being gated (under full load the event-driven
-    advantage shrinks by design — the network is genuinely busy).
+    advantage shrinks by design — the network is genuinely busy). The
+    ``batch`` sub-report (:func:`_bench_sim_batch`) measures the vectorised
+    K-replication engine against per-process solo runs, per core.
     """
     from repro.core.synthesis import synthesize
     from repro.engine.tasks import SimulationTask
@@ -873,6 +881,9 @@ def _bench_simulator(
         f"(identical merge: {campaign_identical})"
     )
 
+    batch_report = _bench_sim_batch(topo, recorder, say, cycles, warmup,
+                                    quick)
+
     report = dict(gate)
     report.update({
         "design_links": len(topo.links),
@@ -886,5 +897,108 @@ def _bench_simulator(
             "speedup": round(campaign_speedup, 3),
             "identical_results": campaign_identical,
         },
+        "batch": batch_report,
     })
     return report
+
+
+def _bench_sim_batch(
+    topo, recorder: ProfileRecorder, say: Callable[[str], None],
+    cycles: int, warmup: int, quick: bool,
+) -> Dict:
+    """The vectorised K-replication batch engine: campaign reps/sec per core.
+
+    The gated claim is the ROADMAP's cumulative campaign-throughput target:
+    K lockstep replications on one core deliver >= 10x the replications/sec
+    of the pre-vectorisation per-process campaign loop — solo runs of the
+    frozen :mod:`repro.noc.reference` simulator, one replication at a time
+    (the same baseline the single-thread ``speedup`` gate measures, so the
+    two floors compose: the array engine bought ~4x per run, batching takes
+    the same comparison past 10x). The further ratio over the solo *array
+    engine* is recorded ungated. Everything here is single-process on one
+    core, so the numbers are CPU-count independent by construction.
+
+    Before anything is timed, a small batch (traces on) is checked
+    bit-identical to solo :mod:`~repro.noc.simengine` runs *and* the frozen
+    reference, replication by replication.
+    """
+    from repro.noc.reference import ReferenceWormholeSimulator
+    from repro.noc.simulator import WormholeSimulator
+
+    scale = _SIM_GATE_SCALE
+    sim = WormholeSimulator(topo, seed=_SIM_SEED)
+
+    # Trajectory identity, off the clock: batch vs solo vs frozen reference.
+    id_cycles = min(cycles, 1_500)
+    id_warmup = id_cycles // 10
+    id_seeds = list(range(_SIM_BATCH_IDENTITY_K))
+    batch_traces: list = [[] for _ in id_seeds]
+    batch_stats = sim.run_batch(
+        id_seeds, cycles=id_cycles, warmup=id_warmup,
+        injection_scale=scale, traces=batch_traces,
+    )
+    identical = True
+    for i, seed in enumerate(id_seeds):
+        solo_trace: list = []
+        solo_stats = WormholeSimulator(topo, seed=seed).run(
+            cycles=id_cycles, warmup=id_warmup, injection_scale=scale,
+            trace=solo_trace,
+        )
+        ref_trace: list = []
+        ref_stats = ReferenceWormholeSimulator(topo, seed=seed).run(
+            cycles=id_cycles, warmup=id_warmup, injection_scale=scale,
+            trace=ref_trace,
+        )
+        identical = identical and (
+            batch_stats[i] == solo_stats == ref_stats
+            and batch_traces[i] == solo_trace == ref_trace
+        )
+    say(
+        f"simulator batch: {len(id_seeds)}-replication trajectory identity "
+        f"(batch vs solo vs reference, traces on): {identical}"
+    )
+
+    # Batch throughput: K replications in lockstep on one core.
+    k = _SIM_BATCH_K_QUICK if quick else _SIM_BATCH_K_FULL
+    batch_seeds = list(range(k))
+    sim.run_batch(batch_seeds[:8], cycles=200, warmup=0,
+                  injection_scale=scale)  # warm the vectorised path
+    for _ in range(3):
+        with recorder.time("sim_batch_engine", replications=k):
+            sim.run_batch(batch_seeds, cycles=cycles, warmup=warmup,
+                          injection_scale=scale)
+    batch_s = recorder.best_s("sim_batch_engine")
+    batch_rate = k / batch_s
+
+    # Per-process solo baselines, one replication at a time on the same
+    # core. ``measure(_SIM_GATE_SCALE, "gate")`` already timed both solo
+    # loops (best of 3) at identical cycles/scale/seed — reuse them.
+    solo_engine_s = recorder.best_s("sim_engine_gate")
+    reference_s = recorder.best_s("sim_naive_gate")
+    solo_engine_rate = 1.0 / solo_engine_s if solo_engine_s > 0 else 0.0
+    reference_rate = 1.0 / reference_s if reference_s > 0 else 0.0
+    vs_reference = (
+        batch_rate / reference_rate if reference_rate > 0 else float("inf")
+    )
+    vs_solo_engine = (
+        batch_rate / solo_engine_rate if solo_engine_rate > 0
+        else float("inf")
+    )
+    say(
+        f"simulator batch: K={k} lockstep {batch_rate:,.1f} reps/s on one "
+        f"core vs {reference_rate:,.1f} reps/s per-process reference "
+        f"({vs_reference:.2f}x, gated) and {solo_engine_rate:,.1f} reps/s "
+        f"solo engine ({vs_solo_engine:.2f}x, recorded)"
+    )
+    return {
+        "replications": k,
+        "injection_scale": scale,
+        "batch_s": round(batch_s, 4),
+        "batch_reps_per_s": round(batch_rate, 2),
+        "reference_reps_per_s": round(reference_rate, 2),
+        "solo_engine_reps_per_s": round(solo_engine_rate, 2),
+        "speedup_vs_reference": round(vs_reference, 3),
+        "speedup_vs_solo_engine": round(vs_solo_engine, 3),
+        "identity_replications": len(id_seeds),
+        "identical_trajectories": identical,
+    }

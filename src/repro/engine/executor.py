@@ -264,12 +264,44 @@ def _run_with_store(
     Hits report progress first (in submission order), then misses as they
     complete; the merged result list is in submission order either way, and
     bit-identical to a run without a store.
+
+    A task exposing ``expand_for_store()`` / ``narrow(indices)`` (e.g.
+    :class:`~repro.engine.tasks.BatchSimulationTask`) is addressed as the
+    *set* of its sub-tasks: each sub-task is fingerprinted individually,
+    an all-hit batch is assembled from the per-sub payloads without paying
+    a worker, a partial hit is narrowed to just its missing sub-tasks, and
+    computed sub-payloads are checkpointed under the *sub-task*
+    fingerprints — so warm caches and resume behave identically whether
+    the campaign ran batched or solo.
     """
     total = len(tasks)
     slots: List[Optional[TaskResult]] = [None] * total
-    fingerprints: List[Optional[str]] = [None] * total
+    fingerprints: List[Optional[object]] = [None] * total
     misses: List[Tuple[int, SynthesisTask]] = []
+    # Partially-hit expandable tasks: per-sub payloads (None = miss) plus
+    # the missing sub-indices, merged with the narrowed computation below.
+    partials: dict = {}
     for i, task in enumerate(tasks):
+        expand = getattr(task, "expand_for_store", None)
+        if expand is not None:
+            sub_fps = [store.fingerprint(sub) for sub in expand()]
+            payloads: List[Optional[object]] = []
+            missing: List[int] = []
+            for j, sub_fp in enumerate(sub_fps):
+                entry = store.get(sub_fp)
+                if entry is None:
+                    payloads.append(None)
+                    missing.append(j)
+                else:
+                    payloads.append(entry.payload)
+            if missing:
+                misses.append((i, task.narrow(tuple(missing))))
+                fingerprints[i] = [sub_fps[j] for j in missing]
+                partials[i] = (payloads, missing)
+            else:
+                slots[i] = TaskResult(key=task.key, result=tuple(payloads),
+                                      cached=True)
+            continue
         fp = store.fingerprint(task)
         fingerprints[i] = fp
         entry = store.get(fp)
@@ -301,6 +333,14 @@ def _run_with_store(
             store, sup,
         )
         for (i, _task), result in zip(misses, computed):
+            if i in partials and result.error is None and not result.skipped:
+                # Seed-order merge: cached sub-payloads keep their slots,
+                # the narrowed computation fills the gaps.
+                payloads, missing = partials[i]
+                merged = list(payloads)
+                for j, payload in zip(missing, result.result):
+                    merged[j] = payload
+                result.result = tuple(merged)
             slots[i] = result
 
     results = [r for r in slots if r is not None]
@@ -328,23 +368,30 @@ def _run_store_misses(
     """
     import dataclasses
 
-    from repro.engine.faults import unwrap_task
-
     indexed = [
         dataclasses.replace(task, key=(idx, task.key))
         for idx, (_i, task) in enumerate(misses)
     ]
     fp_by_idx = [fingerprints[i] for i, _task in misses]
-    type_by_idx = [
-        type(unwrap_task(task)).__name__ for _i, task in misses
-    ]
+    type_by_idx = [_store_task_type(task) for _i, task in misses]
 
     def checkpoint(result: TaskResult) -> None:
         if result.error is not None or result.skipped:
             return
         idx, _original_key = result.key
+        fp = fp_by_idx[idx]
+        if isinstance(fp, list):
+            # Expandable task: per-sub payloads under per-sub fingerprints,
+            # each entry indistinguishable from a solo run's checkpoint.
+            elapsed = result.elapsed_s / max(1, len(fp))
+            for sub_fp, payload in zip(fp, result.result):
+                store.put(
+                    sub_fp, payload,
+                    task_type=type_by_idx[idx], elapsed_s=elapsed,
+                )
+            return
         store.put(
-            fp_by_idx[idx], result.result,
+            fp, result.result,
             task_type=type_by_idx[idx], elapsed_s=result.elapsed_s,
         )
 
@@ -363,3 +410,17 @@ def _run_store_misses(
     for result in results:
         result.key = result.key[1]
     return results
+
+
+def _store_task_type(task) -> str:
+    """The ``task_type`` a result is filed under. An expandable task's
+    payloads are stored per sub-task, so they carry the *sub-task's* type —
+    the store must not tell batched and solo entries apart."""
+    expand = getattr(task, "expand_for_store", None)
+    if expand is not None:
+        subs = expand()
+        if subs:
+            return type(subs[0]).__name__
+    from repro.engine.faults import unwrap_task
+
+    return type(unwrap_task(task)).__name__

@@ -21,6 +21,10 @@ Two task granularities cross the ``ProcessPoolExecutor`` boundary:
   (``run_simulation_validation(..., jobs=N)``). Runs are deterministic in
   their parameters, so the merged campaign is bit-identical serial vs
   parallel.
+* :class:`BatchSimulationTask` — K such replications of one traffic point
+  batched onto the vectorised lockstep engine
+  (:mod:`repro.noc.batchengine`); per-replication results and store
+  fingerprints are identical to K solo :class:`SimulationTask`\\ s.
 
 Tasks are plain frozen dataclasses built only from spec/config/library
 value objects (and, for candidates, stateless stage instances), so they
@@ -35,6 +39,7 @@ round-trip, mirroring the serial sweeps' behaviour.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
@@ -183,6 +188,63 @@ class SimulationTask:
     drain_limit: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class BatchSimulationTask:
+    """K lockstep replications of one traffic point, one worker round-trip.
+
+    The same knobs as :class:`SimulationTask` with ``seeds`` (a tuple of K
+    replication seeds) in place of ``seed``; the worker runs all K on the
+    vectorised batch engine (:mod:`repro.noc.batchengine`) and returns a
+    tuple of K :class:`~repro.noc.simulator.SimulationStats` in seed order,
+    each bit-identical to a solo :class:`SimulationTask` at that seed.
+
+    A batch has no store identity of its own: :meth:`expand_for_store`
+    names its per-replication solo tasks and the executor fingerprints
+    those individually, so a warm store serves a batched campaign from a
+    solo-run cache (and vice versa), and a partially-cached batch is
+    :meth:`narrow`\\ ed to just its missing replications. The chunking —
+    which seeds share a batch, and the batch width itself — therefore never
+    splits the cache.
+    """
+
+    key: Hashable
+    topology: object
+    seeds: Tuple[int, ...] = (0,)
+    library: Optional[NocLibrary] = None
+    buffer_depth: int = 4
+    packet_length_flits: int = 4
+    cycles: int = 20_000
+    warmup: int = 2_000
+    injection_scale: float = 1.0
+    scenario: Optional[object] = None
+    drain_limit: Optional[int] = None
+
+    def expand_for_store(self) -> Tuple[SimulationTask, ...]:
+        """The batch's store identity: one solo task per replication."""
+        return tuple(
+            SimulationTask(
+                key=(self.key, seed),
+                topology=self.topology,
+                library=self.library,
+                buffer_depth=self.buffer_depth,
+                packet_length_flits=self.packet_length_flits,
+                seed=seed,
+                cycles=self.cycles,
+                warmup=self.warmup,
+                injection_scale=self.injection_scale,
+                scenario=self.scenario,
+                drain_limit=self.drain_limit,
+            )
+            for seed in self.seeds
+        )
+
+    def narrow(self, indices: Tuple[int, ...]) -> "BatchSimulationTask":
+        """The sub-batch holding only the replications at ``indices``."""
+        return dataclasses.replace(
+            self, seeds=tuple(self.seeds[i] for i in indices)
+        )
+
+
 @dataclass
 class TaskResult:
     """Outcome of one task: a result or a captured error, never both.
@@ -282,6 +344,8 @@ def _attempt_task(task) -> TaskResult:
         return _run_constrained_task(task)
     if isinstance(task, SimulationTask):
         return _run_simulation_task(task)
+    if isinstance(task, BatchSimulationTask):
+        return _run_batch_simulation_task(task)
     if task.skip:
         from repro.core.design_point import SynthesisResult
 
@@ -371,6 +435,28 @@ def _run_simulation_task(task: SimulationTask) -> TaskResult:
             injection_scale=task.injection_scale,
             scenario=task.scenario, drain_limit=task.drain_limit,
         )
+
+    return _timed_task(task.key, body)
+
+
+def _run_batch_simulation_task(task: BatchSimulationTask) -> TaskResult:
+    def body():
+        if not task.seeds:
+            return ()
+        from repro.noc.simulator import WormholeSimulator
+
+        sim = WormholeSimulator(
+            task.topology, task.library,
+            buffer_depth=task.buffer_depth,
+            packet_length_flits=task.packet_length_flits,
+            seed=task.seeds[0],
+        )
+        return tuple(sim.run_batch(
+            list(task.seeds),
+            cycles=task.cycles, warmup=task.warmup,
+            injection_scale=task.injection_scale,
+            scenario=task.scenario, drain_limit=task.drain_limit,
+        ))
 
     return _timed_task(task.key, body)
 

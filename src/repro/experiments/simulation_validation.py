@@ -24,7 +24,11 @@ from typing import Optional, Sequence
 from repro.core.config import SynthesisConfig
 from repro.engine import run_tasks
 from repro.engine.executor import ProgressFn
-from repro.engine.tasks import SimulationTask, SynthesisTask
+from repro.engine.tasks import (
+    BatchSimulationTask,
+    SimulationTask,
+    SynthesisTask,
+)
 from repro.experiments.common import (
     ExperimentResult,
     default_config_for,
@@ -52,6 +56,7 @@ def run_simulation_validation(
     retry=None,
     task_timeout_s: Optional[float] = None,
     on_error: str = "raise",
+    batch: Optional[int] = None,
 ) -> ExperimentResult:
     """One row per (scenario, offered load, seed): simulated vs analytic.
 
@@ -82,7 +87,18 @@ def run_simulation_validation(
             ``on_error="quarantine"`` runs lost to a worker crash or
             deadline are dropped from the table and counted in its
             ``notes`` instead of aborting the campaign.
+        batch: Replications per engine task. ``None``/``1`` runs one
+            :class:`~repro.engine.tasks.SimulationTask` per seed; ``K > 1``
+            groups each (scenario, scale)'s seeds into
+            :class:`~repro.engine.tasks.BatchSimulationTask` chunks of up
+            to ``K`` on the vectorised lockstep engine. Rows, row order and
+            store fingerprints are bit-identical either way — batching only
+            changes how the work is packed.
     """
+    if batch is not None and batch < 1:
+        from repro.errors import EngineError
+
+        raise EngineError(f"batch must be >= 1, got {batch}")
     if config is None:
         config = default_config_for(benchmark)
     point = _best_power_point(benchmark, config, store)
@@ -96,23 +112,44 @@ def run_simulation_validation(
     analytic_avg = sum(zero_load.values()) / len(zero_load)
 
     scenario_objs = [make_scenario(s) for s in scenarios]
-    tasks = [
-        SimulationTask(
-            key=(scen.label(), scale, seed),
-            topology=point.topology,
-            library=library,
-            packet_length_flits=packet_length_flits,
-            seed=seed,
-            cycles=cycles,
-            warmup=warmup,
-            injection_scale=scale,
-            scenario=scen,
-            drain_limit=drain_limit,
-        )
-        for scen in scenario_objs
-        for scale in injection_scales
-        for seed in seeds
-    ]
+    if batch is not None and batch > 1:
+        # Seed chunks stay in seed order within each (scenario, scale), so
+        # the flattened rows land in exactly the solo campaign's order.
+        tasks = [
+            BatchSimulationTask(
+                key=(scen.label(), scale, chunk),
+                topology=point.topology,
+                seeds=chunk,
+                library=library,
+                packet_length_flits=packet_length_flits,
+                cycles=cycles,
+                warmup=warmup,
+                injection_scale=scale,
+                scenario=scen,
+                drain_limit=drain_limit,
+            )
+            for scen in scenario_objs
+            for scale in injection_scales
+            for chunk in _seed_chunks(seeds, batch)
+        ]
+    else:
+        tasks = [
+            SimulationTask(
+                key=(scen.label(), scale, seed),
+                topology=point.topology,
+                library=library,
+                packet_length_flits=packet_length_flits,
+                seed=seed,
+                cycles=cycles,
+                warmup=warmup,
+                injection_scale=scale,
+                scenario=scen,
+                drain_limit=drain_limit,
+            )
+            for scen in scenario_objs
+            for scale in injection_scales
+            for seed in seeds
+        ]
     results = run_tasks(
         tasks, jobs=jobs, progress=progress, store=store,
         retry=retry, task_timeout_s=task_timeout_s, on_error=on_error,
@@ -142,19 +179,29 @@ def run_simulation_validation(
         if task_result.error is not None:
             continue
         label, scale, seed = task_result.key
-        stats = task_result.result
-        table.add(
-            scenario=label,
-            seed=seed,
-            injection_scale=scale,
-            delivered=stats.packets_delivered,
-            injected=stats.packets_injected,
-            delivery_ratio=stats.delivery_ratio,
-            sim_latency_cyc=stats.avg_packet_latency,
-            analytic_cyc=analytic_avg,
-            gap_cyc=stats.avg_packet_latency - analytic_avg,
-        )
+        if isinstance(seed, tuple):  # a batch task: one row per replication
+            rows = zip(seed, task_result.result)
+        else:
+            rows = [(seed, task_result.result)]
+        for row_seed, stats in rows:
+            table.add(
+                scenario=label,
+                seed=row_seed,
+                injection_scale=scale,
+                delivered=stats.packets_delivered,
+                injected=stats.packets_injected,
+                delivery_ratio=stats.delivery_ratio,
+                sim_latency_cyc=stats.avg_packet_latency,
+                analytic_cyc=analytic_avg,
+                gap_cyc=stats.avg_packet_latency - analytic_avg,
+            )
     return table
+
+
+def _seed_chunks(seeds: Sequence[int], batch: int):
+    """Consecutive seed groups of up to ``batch``, in campaign order."""
+    seeds = tuple(int(s) for s in seeds)
+    return [seeds[i:i + batch] for i in range(0, len(seeds), batch)]
 
 
 def _best_power_point(benchmark: str, config: SynthesisConfig, store):

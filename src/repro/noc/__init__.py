@@ -18,6 +18,7 @@ from repro.noc.scenarios import (
     TrafficScenario,
     make_scenario,
 )
+from repro.noc.batchengine import simulate_batch
 from repro.noc.simulator import (
     SimulationStats,
     WormholeSimulator,
@@ -42,5 +43,6 @@ __all__ = [
     "make_scenario",
     "SimulationStats",
     "WormholeSimulator",
+    "simulate_batch",
     "simulate_design_point",
 ]

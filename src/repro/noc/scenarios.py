@@ -81,6 +81,18 @@ class TrafficScenario:
         """Short human-readable tag for tables and reports."""
         return self.name
 
+    def bernoulli_probs(self, flows, probs):
+        """Effective per-flow rates if this scenario is memoryless.
+
+        Scenarios that reduce to :func:`_bernoulli_schedule` over a
+        transformed probability vector (no draws of their own) return that
+        vector here, letting :mod:`repro.noc.batchengine` rebuild their
+        schedules through its vectorized sampler — which consumes the
+        seeded generator's stream draw for draw like the scalar builder.
+        Stateful scenarios return ``None`` and keep the scalar path.
+        """
+        return None
+
 
 def _bernoulli_schedule(probs: Sequence[float], cycles: int, rng) -> Schedule:
     """Independent per-cycle, per-flow injections, sampled per arrival.
@@ -134,6 +146,9 @@ class BernoulliScenario(TrafficScenario):
     def schedule(self, flows, probs, cycles, rng) -> Schedule:
         return _bernoulli_schedule(probs, cycles, rng)
 
+    def bernoulli_probs(self, flows, probs):
+        return list(probs)
+
 
 @dataclass(frozen=True)
 class HotspotScenario(TrafficScenario):
@@ -167,12 +182,16 @@ class HotspotScenario(TrafficScenario):
         return max(sorted(counts), key=lambda core: counts[core])
 
     def schedule(self, flows, probs, cycles, rng) -> Schedule:
+        return _bernoulli_schedule(
+            self.bernoulli_probs(flows, probs), cycles, rng
+        )
+
+    def bernoulli_probs(self, flows, probs):
         hot = self.pick_hotspot(flows)
-        eff = [
+        return [
             p * self.boost if flows[fi][1] == hot else p
             for fi, p in enumerate(probs)
         ]
-        return _bernoulli_schedule(eff, cycles, rng)
 
     def label(self) -> str:
         core = "auto" if self.hotspot_core is None else self.hotspot_core
@@ -295,8 +314,12 @@ class ScaledScenario(TrafficScenario):
             )
 
     def schedule(self, flows, probs, cycles, rng) -> Schedule:
-        eff = [p * self.factor for p in probs]
-        return _bernoulli_schedule(eff, cycles, rng)
+        return _bernoulli_schedule(
+            self.bernoulli_probs(flows, probs), cycles, rng
+        )
+
+    def bernoulli_probs(self, flows, probs):
+        return [p * self.factor for p in probs]
 
     def label(self) -> str:
         return f"scaled(x{self.factor:g})"

@@ -150,6 +150,41 @@ class WormholeSimulator:
             trace=trace,
         )
 
+    def run_batch(
+        self,
+        seeds,
+        cycles: int = 20_000,
+        warmup: int = 2_000,
+        injection_scale: float = 1.0,
+        *,
+        scenario: object = None,
+        drain_limit: Optional[int] = None,
+        traces: Optional[List[list]] = None,
+    ) -> List[SimulationStats]:
+        """Run K lockstep replications on :mod:`repro.noc.batchengine`.
+
+        ``seeds`` are the K replication seeds (the simulator's own ``seed``
+        attribute is ignored for the batch path); ``scenario`` is one
+        :data:`~repro.noc.scenarios.ScenarioSpec` for every replication or a
+        sequence of K specs. Each returned stats object — and, with
+        ``traces`` given, each replication's per-cycle event list — is
+        bit-identical to a solo :meth:`run` at that seed.
+        """
+        from repro.noc import batchengine  # numpy import deferred
+
+        if cycles <= warmup:
+            raise SynthesisError("cycles must exceed warmup")
+        return batchengine.simulate_batch(
+            self,
+            cycles=cycles,
+            warmup=warmup,
+            injection_scale=injection_scale,
+            seeds=seeds,
+            scenario=scenario,
+            drain_limit=drain_limit,
+            traces=traces,
+        )
+
     # -- helpers -------------------------------------------------------------
 
     def _inputs_per_link(self) -> Dict[int, List[int]]:

@@ -1,0 +1,36 @@
+"""Fixture: pickling violations specific to *batched* task payloads.
+
+Never imported — parsed by the pickling checker in
+tests/test_analysis.py. The failure mode this pins: a batch task tempts
+its author to carry the replication axis as something lazy (a seed
+generator, a schedule stream) or to cache per-batch scratch state (RNG
+locks, trace sinks) on the payload — all of which die as opaque
+``PicklingError``\\ s inside the pool, K replications at a time.
+"""
+
+import threading
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+def seed_stream(start):
+    n = start
+    while True:
+        yield n
+        n += 1
+
+
+@dataclass
+class LazyBatchTask:
+    key: str
+    seeds = seed_stream(0)  # expect: RPL302
+    widen = staticmethod(lambda k: k * 2)  # expect: RPL301
+    rng_guard = threading.Lock()  # expect: RPL303
+    trace_sink = open("/dev/null", "w")  # expect: RPL304
+
+    def narrow(self, indices: Tuple[int, ...]):
+        def pick(i):
+            return self.key, i
+
+        self.picker = pick  # expect: RPL301
+        self.schedules = ((s, s + 1) for s in indices)  # expect: RPL302

@@ -63,6 +63,7 @@ def reported_findings(report) -> set:
     ("stage_inputs_good.py", "stage-inputs"),
     ("determinism_good.py", "determinism"),
     ("pickling_good.py", "pickling"),
+    ("batch_payload_good.py", "pickling"),
     ("lock_good.py", "lock-discipline"),
 ])
 def test_good_fixtures_are_clean(fixture, checker):
@@ -74,6 +75,7 @@ def test_good_fixtures_are_clean(fixture, checker):
     ("stage_inputs_bad.py", "stage-inputs"),
     ("determinism_bad.py", "determinism"),
     ("pickling_bad.py", "pickling"),
+    ("batch_payload_bad.py", "pickling"),
     ("lock_bad.py", "lock-discipline"),
 ])
 def test_bad_fixtures_report_exact_codes_and_lines(fixture, checker):
@@ -88,7 +90,8 @@ def test_bad_fixtures_cover_every_code_of_their_checker():
     """The corpus exercises the full code table, not a sample."""
     covered = set()
     for fixture in ("stage_inputs_bad.py", "determinism_bad.py",
-                    "pickling_bad.py", "lock_bad.py"):
+                    "pickling_bad.py", "batch_payload_bad.py",
+                    "lock_bad.py"):
         covered |= {code for _, code in expected_findings(FIXTURES / fixture)}
     per_checker = set()
     for name in ("stage-inputs", "determinism", "pickling",

@@ -257,3 +257,38 @@ class TestProfile:
         assert on_disk == doc
         assert on_disk["benchmark"] == "x"
         assert set(on_disk["stages"]) == {"stage", "other"}
+
+
+class TestSimBatchBenchmarkLeg:
+    """Fast smoke over the batch leg of the simulator benchmark: the
+    trajectory-identity check and the reps/sec ratios, on the tiny test
+    topology with a scaled-down K (the real K and design run under
+    ``make bench``)."""
+
+    def test_report_shape_identity_and_ratios(self, contended_topo,
+                                              monkeypatch):
+        from repro.engine import benchmark as bm
+
+        monkeypatch.setattr(bm, "_SIM_BATCH_K_QUICK", 8)
+        recorder = ProfileRecorder()
+        # The solo per-process baselines _bench_sim_batch reuses; in the
+        # real benchmark measure() records them at identical load.
+        recorder.record("sim_engine_gate", 0.05)
+        recorder.record("sim_naive_gate", 0.50)
+        lines = []
+        report = bm._bench_sim_batch(
+            contended_topo, recorder, lines.append,
+            cycles=400, warmup=40, quick=True,
+        )
+        assert report["identical_trajectories"]
+        assert report["identity_replications"] == bm._SIM_BATCH_IDENTITY_K
+        assert report["replications"] == 8
+        assert report["batch_reps_per_s"] > 0
+        assert report["batch_s"] > 0
+        # The reference baseline is 10x slower than the solo engine here,
+        # so its speedup must come out exactly 10x higher.
+        assert report["speedup_vs_reference"] == pytest.approx(
+            10.0 * report["speedup_vs_solo_engine"], rel=1e-3
+        )
+        assert len(lines) == 2  # identity line + throughput line
+        assert recorder.best_s("sim_batch_engine") > 0

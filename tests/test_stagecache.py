@@ -248,6 +248,54 @@ class TestWarmIdentity:
         assert canonical(warm) == canonical(reference)
 
 
+class TestBatchedCampaignWarmIdentity:
+    """``batch=K`` must be invisible to every cache layer: the synthesis
+    stages and the per-replication simulation entries a solo campaign
+    writes serve a batched rerun in full — and vice versa."""
+
+    KWARGS = dict(
+        benchmark="d26_media",
+        injection_scales=(0.1, 0.5),
+        cycles=1_200,
+        warmup=120,
+        config=SynthesisConfig(max_ill=25, switch_count_range=(3, 5)),
+        scenarios=("bernoulli",),
+        seeds=(0, 1, 2),
+    )
+
+    def _run(self, store=None, batch=None):
+        from repro.experiments.simulation_validation import (
+            run_simulation_validation,
+        )
+
+        return run_simulation_validation(
+            jobs=1, store=store, batch=batch, **self.KWARGS
+        )
+
+    def test_batched_warm_over_cold_solo_campaign(self, tmp_path):
+        from repro.engine import ResultStore
+
+        cold = self._run(store=ResultStore(tmp_path))
+        warm_store = ResultStore(tmp_path)
+        warm = self._run(store=warm_store, batch=2)
+        assert pickle.dumps(warm.rows) == pickle.dumps(cold.rows)
+        # 2 scales x 3 seeds simulation entries plus the synthesis —
+        # every one a hit, none recomputed, no batch-shaped entries.
+        assert (warm_store.hits, warm_store.misses) == (7, 0)
+        assert warm_store.stats().by_task_type == {
+            "SimulationTask": 6, "SynthesisTask": 1,
+        }
+
+    def test_solo_warm_over_cold_batched_campaign(self, tmp_path):
+        from repro.engine import ResultStore
+
+        cold = self._run(store=ResultStore(tmp_path), batch=3)
+        warm_store = ResultStore(tmp_path)
+        warm = self._run(store=warm_store)
+        assert pickle.dumps(warm.rows) == pickle.dumps(cold.rows)
+        assert (warm_store.hits, warm_store.misses) == (7, 0)
+
+
 CALLS = {"reject": 0, "explode": 0, "counting": 0}
 
 

@@ -18,7 +18,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.frequency_sweep import sweep_frequencies
 from repro.engine import ResultStore, fingerprint_task, run_tasks
 from repro.engine.store import open_store
-from repro.engine.tasks import SimulationTask, SynthesisTask
+from repro.engine.tasks import BatchSimulationTask, SimulationTask, SynthesisTask
 from repro.errors import StoreError
 
 from _simtopo import contended_topology
@@ -415,6 +415,120 @@ class TestExecutorIntegration:
         resumed = run_tasks(tasks, jobs=2, store=store)
         assert _payload_bytes(resumed) == _payload_bytes(cold)
         assert store.stats().entries == len(tasks)
+
+
+def _batch_sim_task(seeds, key="batch", cycles=300):
+    return BatchSimulationTask(
+        key=key, topology=contended_topology(), seeds=tuple(seeds),
+        cycles=cycles, warmup=0,
+    )
+
+
+class TestBatchTaskStore:
+    """A batched run is addressed as the *set* of its per-replication
+    runs: warm caches and resume stay bit-identical with batching on or
+    off, and chunking never appears in any store address."""
+
+    def test_expansion_addresses_are_the_solo_addresses(self):
+        batch = _batch_sim_task(range(4))
+        solo_fps = [fingerprint_task(t) for t in _sim_tasks(4)]
+        assert [
+            fingerprint_task(s) for s in batch.expand_for_store()
+        ] == solo_fps
+        # ... regardless of the batch's own key or chunking.
+        import dataclasses
+
+        rekeyed = dataclasses.replace(batch, key="other-label")
+        assert [
+            fingerprint_task(s) for s in rekeyed.expand_for_store()
+        ] == solo_fps
+        narrowed = batch.narrow((1, 3))
+        assert [
+            fingerprint_task(s) for s in narrowed.expand_for_store()
+        ] == [solo_fps[1], solo_fps[3]]
+
+    def test_batch_warm_over_cold_solo_store(self, tmp_path):
+        solo_tasks = _sim_tasks(4)
+        store = ResultStore(tmp_path)
+        cold = run_tasks(solo_tasks, jobs=1, store=store)
+        warm_store = ResultStore(tmp_path)
+        warm = run_tasks([_batch_sim_task(range(4))], jobs=1,
+                         store=warm_store)
+        assert warm[0].cached
+        assert warm_store.hits == 4 and warm_store.misses == 0
+        assert [pickle.dumps(r) for r in warm[0].result] == _payload_bytes(
+            cold
+        )
+
+    def test_solo_warm_over_cold_batch_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_tasks([_batch_sim_task(range(4))], jobs=1, store=store)
+        assert not cold[0].cached
+        assert store.stats().entries == 4
+        # The batch checkpointed under SimulationTask, not its own type.
+        assert store.stats().by_task_type == {"SimulationTask": 4}
+        warm_store = ResultStore(tmp_path)
+        warm = run_tasks(_sim_tasks(4), jobs=1, store=warm_store)
+        assert all(r.cached for r in warm)
+        assert _payload_bytes(warm) == [
+            pickle.dumps(r) for r in cold[0].result
+        ]
+
+    def test_partial_warm_batch_narrows_to_the_misses(self, tmp_path):
+        solo_tasks = _sim_tasks(4)
+        store = ResultStore(tmp_path)
+        run_tasks([solo_tasks[1], solo_tasks[3]], jobs=1, store=store)
+        mid_store = ResultStore(tmp_path)
+        mixed = run_tasks([_batch_sim_task(range(4))], jobs=1,
+                          store=mid_store)
+        assert not mixed[0].cached  # two replications were computed...
+        assert mid_store.hits == 2  # ...two replayed, merged in seed order
+        assert [pickle.dumps(r) for r in mixed[0].result] == _payload_bytes(
+            run_tasks(solo_tasks, jobs=1)
+        )
+        warm_store = ResultStore(tmp_path)
+        warm = run_tasks([_batch_sim_task(range(4))], jobs=1,
+                         store=warm_store)
+        assert warm[0].cached and warm_store.hits == 4
+
+    def test_killed_mid_batch_campaign_resumes(self, tmp_path):
+        """Kill a batched campaign between chunks: completed chunks are on
+        disk replication-by-replication; the resume replays them and only
+        computes the unfinished chunk, merging bit-identically."""
+        chunks = [_batch_sim_task(range(0, 3), key="chunk0"),
+                  _batch_sim_task(range(3, 6), key="chunk1")]
+        cold_solo = run_tasks(_sim_tasks(6), jobs=1)
+
+        class Killed(Exception):
+            pass
+
+        def killer(done, total, key):
+            if done == 1:
+                raise Killed
+
+        store = ResultStore(tmp_path)
+        with pytest.raises(Killed):
+            run_tasks(chunks, jobs=1, store=store, progress=killer)
+        checkpointed = store.stats().entries
+        assert 0 < checkpointed < 6  # one chunk's replications, not both
+
+        resume_store = ResultStore(tmp_path)
+        resumed = run_tasks(chunks, jobs=1, store=resume_store)
+        flat = [r for chunk in resumed for r in chunk.result]
+        assert [pickle.dumps(r) for r in flat] == _payload_bytes(cold_solo)
+        assert resumed[0].cached and not resumed[1].cached
+        assert resume_store.hits == checkpointed
+        assert ResultStore(tmp_path).stats().entries == 6
+
+    def test_errored_batch_is_not_cached(self, tmp_path):
+        bad = BatchSimulationTask(
+            key="bad", topology=contended_topology(), seeds=(0, 1),
+            cycles=100, warmup=0, scenario="no-such-scenario",
+        )
+        store = ResultStore(tmp_path)
+        results = run_tasks([bad], jobs=1, store=store, raise_errors=False)
+        assert results[0].error is not None
+        assert store.stats().entries == 0
 
 
 class TestCampaignDifferential:
